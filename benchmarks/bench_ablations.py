@@ -1,0 +1,50 @@
+"""Ablation benchmarks for the design choices called out in DESIGN.md.
+
+* **bottom-up vs. top-down vs. MinContext** (Sections 6 → 7 → 8): the same
+  query on the same document, showing why the paper iterates on the CVT
+  principle — the bottom-up engine fills tables for every context node, the
+  top-down engine only for reachable ones, MinContext only for the relevant
+  projection.
+* **Algorithm 3.2 vs. direct axis functions** (Section 3): both are
+  O(|dom|); the constant factor differs, the results do not.
+* **XML parsing**: substrate cost for the evaluation documents.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_query
+from repro.axes.algorithm32 import eval_axis
+from repro.axes.functions import axis_set
+from repro.axes.regex import Axis
+from repro.workloads.documents import doc_flat_text, doc_flat_text_source
+from repro.workloads.queries import EXAMPLE_8_1_QUERY
+from repro.xmlmodel.parser import parse_xml
+
+DOCUMENT = doc_flat_text(60)
+CVT_ENGINES = ["bottomup", "topdown", "mincontext", "optmincontext"]
+
+
+@pytest.mark.parametrize("engine", CVT_ENGINES)
+def test_ablation_cvt_engines_example81(benchmark, engine):
+    """Sections 6/7/8/11 on the Example-8.1 query over DOC'(60)."""
+    benchmark(run_query, engine, EXAMPLE_8_1_QUERY, DOCUMENT)
+
+
+@pytest.mark.parametrize("axis", [Axis.DESCENDANT, Axis.FOLLOWING, Axis.ANCESTOR_OR_SELF])
+def test_ablation_axis_algorithm32(benchmark, axis):
+    sources = {DOCUMENT.document_element}
+    benchmark(eval_axis, sources, axis)
+
+
+@pytest.mark.parametrize("axis", [Axis.DESCENDANT, Axis.FOLLOWING, Axis.ANCESTOR_OR_SELF])
+def test_ablation_axis_direct(benchmark, axis):
+    sources = {DOCUMENT.document_element}
+    benchmark(axis_set, DOCUMENT, sources, axis)
+
+
+@pytest.mark.parametrize("size", [50, 500])
+def test_ablation_xml_parsing(benchmark, size):
+    source = doc_flat_text_source(size)
+    benchmark(parse_xml, source)

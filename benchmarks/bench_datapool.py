@@ -1,0 +1,27 @@
+"""Table V / Figure 12 (Section 9.3): the data-pool patch for existing engines.
+
+The "Xalan classic" column is the naive engine; the "Xalan + data pool"
+column is the same recursive engine with the (expression, context) → value
+memoisation of Algorithm 9.1.  On the Experiment-3 queries the former is
+exponential and the latter near-linear in the query size.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_query
+from repro.workloads.queries import experiment3_query
+
+CLASSIC_SIZES = [1, 2, 3, 4]
+POOLED_SIZES = [1, 4, 8]
+
+
+@pytest.mark.parametrize("size", CLASSIC_SIZES)
+def test_table5_xalan_classic(benchmark, doc10, size):
+    benchmark(run_query, "naive", experiment3_query(size), doc10)
+
+
+@pytest.mark.parametrize("size", POOLED_SIZES)
+def test_table5_xalan_with_data_pool(benchmark, doc10, size):
+    benchmark(run_query, "datapool", experiment3_query(size), doc10)

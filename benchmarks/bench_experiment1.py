@@ -1,0 +1,32 @@
+"""Experiment 1 (Figure 2, left): query complexity on DOC(2).
+
+The naive engine's time per point grows exponentially with the number of
+``/parent::a/b`` pairs; the CVT engines grow linearly.  Query sizes are kept
+small enough that the exponential engine still terminates quickly — the
+*ratios* between the size-4 and size-8 rows show the separation.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_query
+from repro.workloads.queries import experiment1_query
+
+NAIVE_SIZES = [2, 4, 6, 8]
+POLY_SIZES = [2, 8, 16]
+
+
+@pytest.mark.parametrize("size", NAIVE_SIZES)
+def test_experiment1_naive(benchmark, doc2, size):
+    benchmark(run_query, "naive", experiment1_query(size), doc2)
+
+
+@pytest.mark.parametrize("size", POLY_SIZES)
+def test_experiment1_topdown(benchmark, doc2, size):
+    benchmark(run_query, "topdown", experiment1_query(size), doc2)
+
+
+@pytest.mark.parametrize("size", POLY_SIZES)
+def test_experiment1_mincontext(benchmark, doc2, size):
+    benchmark(run_query, "mincontext", experiment1_query(size), doc2)

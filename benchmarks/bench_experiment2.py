@@ -1,0 +1,37 @@
+"""Experiment 2 (Figure 2, right): nested path/relational queries on DOC'(i).
+
+The paper ran Saxon over DOC'(2), DOC'(3), DOC'(10) and DOC'(200) and saw
+exponential growth in the query size.  Here the naive engine plays Saxon's
+role on DOC'(3); the polynomial engines also get the larger DOC'(200)
+document (the configuration of Table VII).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_query
+from repro.workloads.queries import experiment2_query
+
+NAIVE_SIZES = [1, 2, 3, 4]
+POLY_SIZES = [1, 4, 8]
+
+
+@pytest.mark.parametrize("size", NAIVE_SIZES)
+def test_experiment2_naive_doc3(benchmark, doc_prime3, size):
+    benchmark(run_query, "naive", experiment2_query(size), doc_prime3)
+
+
+@pytest.mark.parametrize("size", POLY_SIZES)
+def test_experiment2_topdown_doc3(benchmark, doc_prime3, size):
+    benchmark(run_query, "topdown", experiment2_query(size), doc_prime3)
+
+
+@pytest.mark.parametrize("size", POLY_SIZES)
+def test_experiment2_mincontext_doc3(benchmark, doc_prime3, size):
+    benchmark(run_query, "mincontext", experiment2_query(size), doc_prime3)
+
+
+@pytest.mark.parametrize("size", [1, 4])
+def test_experiment2_topdown_doc200(benchmark, doc_prime200, size):
+    benchmark(run_query, "topdown", experiment2_query(size), doc_prime200)

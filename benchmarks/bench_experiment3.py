@@ -1,0 +1,30 @@
+"""Experiment 3 (Figure 3, left): nested count()/arithmetic queries on DOC(i).
+
+The paper's IE6 numbers grow exponentially with the nesting depth; the naive
+engine reproduces that shape, the CVT engines stay polynomial.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_query
+from repro.workloads.queries import experiment3_query
+
+NAIVE_SIZES = [1, 2, 3, 4]
+POLY_SIZES = [1, 3, 6]
+
+
+@pytest.mark.parametrize("size", NAIVE_SIZES)
+def test_experiment3_naive(benchmark, doc_prime3, size):
+    benchmark(run_query, "naive", experiment3_query(size), doc_prime3)
+
+
+@pytest.mark.parametrize("size", POLY_SIZES)
+def test_experiment3_topdown(benchmark, doc_prime3, size):
+    benchmark(run_query, "topdown", experiment3_query(size), doc_prime3)
+
+
+@pytest.mark.parametrize("size", POLY_SIZES)
+def test_experiment3_optmincontext(benchmark, doc_prime3, size):
+    benchmark(run_query, "optmincontext", experiment3_query(size), doc_prime3)

@@ -1,0 +1,34 @@
+"""Experiment 4 (Figure 3, right): data complexity of the fixed query
+``//a + q(d) + //b`` with mutually nested ancestor/descendant steps.
+
+The paper measured IE6 over growing documents and found quadratic growth in
+|D|; the polynomial engines show the same quadratic data complexity for this
+query class (Theorem 8.6 allows up to |D|⁴, but the query's structure keeps
+it quadratic, as in Table VII).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_query
+from repro.workloads.documents import doc_flat
+from repro.workloads.queries import experiment4_query
+
+QUERY = experiment4_query(10)
+DOCUMENT_SIZES = [25, 50, 100]
+
+
+@pytest.fixture(scope="module", params=DOCUMENT_SIZES)
+def sized_document(request):
+    return request.param, doc_flat(request.param)
+
+
+def test_experiment4_topdown(benchmark, sized_document):
+    _size, document = sized_document
+    benchmark(run_query, "topdown", QUERY, document)
+
+
+def test_experiment4_mincontext(benchmark, sized_document):
+    _size, document = sized_document
+    benchmark(run_query, "mincontext", QUERY, document)

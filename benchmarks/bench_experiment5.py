@@ -1,0 +1,40 @@
+"""Experiment 5 (Figure 4): forward-axis-only query chains.
+
+(a) ``count(//b/following::b/…)`` over the flat DOC(i) documents and
+(b) ``count(//b//b…)`` over non-branching path documents: the naive strategy
+is exponential in the chain length even without antagonist axes; the CVT
+engines are not.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_query
+from repro.workloads.queries import (
+    experiment5_descendant_query,
+    experiment5_following_query,
+)
+
+NAIVE_SIZES = [1, 2, 3, 4]
+POLY_SIZES = [1, 4, 8]
+
+
+@pytest.mark.parametrize("size", NAIVE_SIZES)
+def test_experiment5a_following_naive(benchmark, doc10, size):
+    benchmark(run_query, "naive", experiment5_following_query(size), doc10)
+
+
+@pytest.mark.parametrize("size", POLY_SIZES)
+def test_experiment5a_following_topdown(benchmark, doc10, size):
+    benchmark(run_query, "topdown", experiment5_following_query(size), doc10)
+
+
+@pytest.mark.parametrize("size", NAIVE_SIZES)
+def test_experiment5b_descendant_naive(benchmark, deep12, size):
+    benchmark(run_query, "naive", experiment5_descendant_query(size), deep12)
+
+
+@pytest.mark.parametrize("size", POLY_SIZES)
+def test_experiment5b_descendant_topdown(benchmark, deep12, size):
+    benchmark(run_query, "topdown", experiment5_descendant_query(size), deep12)

@@ -1,0 +1,35 @@
+"""Table VII (Section 12): the paper's own engine on the Experiment-2 queries.
+
+The paper's "XMLTaskforce XPath" prototype scales linearly in |Q| and
+quadratically in |D| on this query class; the top-down and MinContext
+engines play its role here, swept over query size (rows of the table) and
+document size (column groups).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_query
+from repro.workloads.documents import doc_flat_text
+from repro.workloads.queries import experiment2_query
+
+QUERY_SIZES = [1, 5, 10, 20]
+DOCUMENT_SIZES = [10, 50, 200]
+
+
+@pytest.fixture(scope="module", params=DOCUMENT_SIZES)
+def sized_document(request):
+    return request.param, doc_flat_text(request.param)
+
+
+@pytest.mark.parametrize("size", QUERY_SIZES)
+def test_table7_topdown(benchmark, sized_document, size):
+    _doc_size, document = sized_document
+    benchmark(run_query, "topdown", experiment2_query(size), document)
+
+
+@pytest.mark.parametrize("size", [1, 10])
+def test_table7_mincontext(benchmark, sized_document, size):
+    _doc_size, document = sized_document
+    benchmark(run_query, "mincontext", experiment2_query(size), document)

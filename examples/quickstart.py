@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Quickstart: parse a document, run XPath queries, inspect engine statistics.
+
+Run with::
+
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+import repro
+from repro.engines import NaiveEngine, TopDownEngine
+
+CATALOG = """
+<catalog>
+  <book id="b1" year="1999"><title>Data on the Web</title><price>55</price></book>
+  <book id="b2" year="2002"><title>XPath Essentials</title><price>30</price></book>
+  <book id="b3" year="2003"><title>Query Processing</title><price>70</price></book>
+  <review of="b2">Readable introduction. See also b3.</review>
+</catalog>
+"""
+
+
+def main() -> None:
+    document = repro.parse(CATALOG, strip_whitespace=True)
+
+    print("== Basic node-set queries ==")
+    titles = repro.select("//book/title", document)
+    print("All titles:        ", [node.string_value() for node in titles])
+    cheap = repro.select("//book[price < 60]/title", document)
+    print("Titles under 60:   ", [node.string_value() for node in cheap])
+    second = repro.select("//book[2]", document)
+    print("Second book id:    ", second[0].attribute_value("id"))
+
+    print()
+    print("== Scalar queries ==")
+    print("Number of books:   ", repro.evaluate("count(//book)", document))
+    print("Total price:       ", repro.evaluate("sum(//price)", document))
+    print("Newest year:       ", repro.evaluate("string(//book[last()]/@year)", document))
+    print("Any book after 2000?", repro.evaluate("boolean(//book[@year > 2000])", document))
+
+    print()
+    print("== The id() function (ID/IDREF) ==")
+    reviewed = repro.select("id(//review/@of)/title", document)
+    print("Reviewed title:    ", [node.string_value() for node in reviewed])
+
+    print()
+    print("== Choosing an engine ==")
+    query = "//book[price > 40 and @year > 2000]/title"
+    classification = repro.classify_query(query)
+    print("Query:             ", query)
+    print("Fragment:          ", classification.fragment.value)
+    print("Recommended engine:", classification.recommended_engine)
+    print("Best-known bound:  ", classification.complexity)
+    result = repro.select(query, document, engine="auto")
+    print("Result:            ", [node.string_value() for node in result])
+
+    print()
+    print("== The exponential trap (paper, Section 2) ==")
+    # Antagonist axes make the naive W3C-style evaluation strategy explode.
+    trap = "//book/parent::catalog/book/parent::catalog/book"
+    for engine in (NaiveEngine(), TopDownEngine()):
+        engine.evaluate(trap, document)
+        stats = engine.last_stats
+        print(
+            f"{engine.name:>8}: {stats.location_step_applications:4d} step applications,"
+            f" {stats.expression_evaluations:4d} expression evaluations"
+        )
+    print("(The context-value-table engines share work between context nodes;")
+    print(" the naive engine re-evaluates the same steps over and over.)")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,63 @@
+#!/usr/bin/env python3
+"""Run the full experiment reproduction and print every table/figure analogue.
+
+This is the one-stop driver behind EXPERIMENTS.md: it executes the drivers
+for Experiments 1–5, Table V / Figure 12, Table VII and the Figure-1 fragment
+comparison, printing paper-style rows (seconds and operation counts per
+engine and parameter).
+
+Run with::
+
+    python examples/reproduce_paper.py            # quick (≈ 1 minute)
+    python examples/reproduce_paper.py --full     # larger sweeps
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.benchmarking import experiments, print_experiment
+
+
+def main() -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--full", action="store_true", help="run larger sweeps")
+    args = parser.parse_args()
+    quick = not args.full
+
+    print("#" * 72)
+    print("# Reproduction of the evaluation of Gottlob, Koch, Pichler (VLDB 2002)")
+    print("#" * 72)
+    print()
+
+    print_experiment(experiments.experiment1(), show_work=True)
+    print_experiment(
+        experiments.experiment2(sizes=tuple(range(1, 6 if quick else 9))), show_work=True
+    )
+    print_experiment(
+        experiments.experiment3(sizes=tuple(range(1, 6 if quick else 8))), show_work=True
+    )
+    print_experiment(
+        experiments.experiment4(
+            document_sizes=(50, 100, 200) if quick else (50, 100, 200, 400, 800),
+            query_depth=10 if quick else 20,
+        )
+    )
+    print_experiment(experiments.experiment5_following(), show_work=True)
+    print_experiment(experiments.experiment5_descendant(), show_work=True)
+    print_experiment(experiments.table5_datapool(), show_work=True)
+    for result in experiments.table7(document_sizes=(10, 20, 200) if quick else (10, 20, 200, 500)):
+        print_experiment(result)
+    print_experiment(experiments.figure1_fragments(), show_work=True)
+
+    print("Fragment classification of representative queries (Figure 1):")
+    for query, fragment in experiments.fragment_classification_report():
+        print(f"  {fragment:<26} {query}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,10 @@
+"""Setup shim for environments without the ``wheel`` package.
+
+The project metadata lives in ``pyproject.toml``; this file only enables
+``pip install -e . --no-use-pep517 --no-build-isolation`` on offline machines
+where PEP 517 editable builds cannot construct wheels.
+"""
+
+from setuptools import setup
+
+setup()

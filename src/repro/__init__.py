@@ -1,0 +1,73 @@
+"""repro — a reproduction of "Efficient Algorithms for Processing XPath Queries".
+
+Gottlob, Koch and Pichler (VLDB 2002 / ACM TODS) showed that the XPath
+processors of the time evaluated queries in time exponential in the query
+size, and gave the first polynomial-time algorithms for full XPath together
+with linear-time fragments.  This package implements, from scratch and in
+pure Python:
+
+* an XML substrate (:mod:`repro.xmlmodel`) and the axis machinery of the
+  paper's Section 3 (:mod:`repro.axes`);
+* a complete XPath 1.0 front end (:mod:`repro.xpath`);
+* every algorithm of the paper as a pluggable engine
+  (:mod:`repro.engines`): the naive exponential baseline, the data-pool
+  patch, the bottom-up and top-down context-value-table algorithms,
+  MinContext and OptMinContext;
+* the linear-time fragments Core XPath and XPatterns and the Extended
+  Wadler Fragment (:mod:`repro.fragments`);
+* the paper's experimental evaluation as reproducible workloads and
+  benchmark drivers (:mod:`repro.workloads`, :mod:`repro.benchmarking`).
+
+Quick start::
+
+    import repro
+
+    doc = repro.parse("<a><b>x</b><b>y</b></a>")
+    repro.select("/a/b[2]", doc)          # → [<element 'b' …>]
+    repro.evaluate("count(//b)", doc)     # → 2.0
+"""
+
+from . import api
+from .api import (
+    DEFAULT_ENGINE,
+    ENGINE_CLASSES,
+    classify_query,
+    engine_for_query,
+    engine_names,
+    evaluate,
+    get_engine,
+    parse,
+    select,
+)
+from .errors import (
+    FragmentError,
+    ReproError,
+    VariableBindingError,
+    XMLSyntaxError,
+    XPathEvaluationError,
+    XPathSyntaxError,
+    XPathTypeError,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DEFAULT_ENGINE",
+    "ENGINE_CLASSES",
+    "FragmentError",
+    "ReproError",
+    "VariableBindingError",
+    "XMLSyntaxError",
+    "XPathEvaluationError",
+    "XPathSyntaxError",
+    "XPathTypeError",
+    "__version__",
+    "api",
+    "classify_query",
+    "engine_for_query",
+    "engine_names",
+    "evaluate",
+    "get_engine",
+    "parse",
+    "select",
+]

@@ -1,0 +1,109 @@
+"""Convenience API: one-call parsing, evaluation and engine selection.
+
+Typical usage::
+
+    from repro import api
+
+    doc = api.parse("<a><b>1</b><b>2</b></a>")
+    nodes = api.select("//b[. = '2']", doc)                 # default engine
+    value = api.evaluate("count(//b)", doc)                 # → 2.0
+    engine = api.get_engine("corexpath")                    # explicit engine
+    info = api.classify_query("//a/b[child::c]")            # Figure-1 fragment
+
+The default engine is :class:`~repro.engines.topdown.TopDownEngine`, the
+paper's practical polynomial algorithm; ``engine="auto"`` picks the engine
+with the best known complexity bound for the query's fragment.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, Optional, Union
+
+from .engines.base import XPathEngine
+from .engines.bottomup import BottomUpEngine
+from .engines.datapool import DataPoolEngine
+from .engines.mincontext import MinContextEngine
+from .engines.naive import NaiveEngine
+from .engines.optmincontext import OptMinContextEngine
+from .engines.topdown import TopDownEngine
+from .errors import XPathEvaluationError
+from .fragments.classify import Classification, classify
+from .fragments.core_xpath import CoreXPathEngine
+from .fragments.xpatterns import XPatternsEngine
+from .xmlmodel.document import Document
+from .xmlmodel.nodes import Node
+from .xmlmodel.parser import parse_xml
+from .xpath.context import Context
+from .xpath.values import XPathValue
+
+#: Registry of all engines by name.
+ENGINE_CLASSES: dict[str, type[XPathEngine]] = {
+    NaiveEngine.name: NaiveEngine,
+    DataPoolEngine.name: DataPoolEngine,
+    BottomUpEngine.name: BottomUpEngine,
+    TopDownEngine.name: TopDownEngine,
+    MinContextEngine.name: MinContextEngine,
+    OptMinContextEngine.name: OptMinContextEngine,
+    CoreXPathEngine.name: CoreXPathEngine,
+    XPatternsEngine.name: XPatternsEngine,
+}
+
+#: Name of the engine used when none is specified.
+DEFAULT_ENGINE = TopDownEngine.name
+
+
+def engine_names() -> list[str]:
+    """Names of all available engines."""
+    return sorted(ENGINE_CLASSES)
+
+
+def get_engine(name: str = DEFAULT_ENGINE) -> XPathEngine:
+    """Instantiate an engine by name (see :data:`ENGINE_CLASSES`)."""
+    try:
+        return ENGINE_CLASSES[name]()
+    except KeyError:
+        raise XPathEvaluationError(
+            f"unknown engine {name!r}; available: {', '.join(engine_names())}"
+        ) from None
+
+
+def engine_for_query(query: Union[str, object]) -> XPathEngine:
+    """The engine with the best known bounds for the query's fragment."""
+    classification = classify(query)
+    return get_engine(classification.recommended_engine)
+
+
+def parse(text: str, *, strip_whitespace: bool = False) -> Document:
+    """Parse XML text into a document (thin wrapper over the xmlmodel parser)."""
+    return parse_xml(text, strip_whitespace=strip_whitespace)
+
+
+def evaluate(
+    query: str,
+    document: Document,
+    context: Optional[Union[Context, Node]] = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+) -> XPathValue:
+    """Evaluate a query and return its XPath value (number/string/bool/node set)."""
+    chosen = engine_for_query(query) if engine == "auto" else get_engine(engine)
+    return chosen.evaluate(query, document, context, variables)
+
+
+def select(
+    query: str,
+    document: Document,
+    context: Optional[Union[Context, Node]] = None,
+    *,
+    engine: str = DEFAULT_ENGINE,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+) -> list[Node]:
+    """Evaluate a node-set query and return the nodes in document order."""
+    chosen = engine_for_query(query) if engine == "auto" else get_engine(engine)
+    return chosen.select(query, document, context, variables)
+
+
+def classify_query(query: Union[str, object]) -> Classification:
+    """Classify a query into the Figure-1 fragment lattice."""
+    return classify(query)

@@ -1,0 +1,98 @@
+"""Algorithm 3.2 — axis evaluation via the Table I regular expressions.
+
+This module is a direct transcription of the paper's Algorithm 3.2.  It is
+the executable specification for the (untyped) axis semantics: given a node
+set ``S`` and an axis χ, ``eval_axis(S, χ)`` returns χ₀(S) in time
+``O(|dom|)`` (Lemma 3.3).
+
+The efficient engines do not call this code on their hot paths — they use the
+direct traversals in :mod:`repro.axes.functions` — but the property-based
+test-suite checks that both implementations agree on random documents, which
+is exactly the role the paper assigns to this section ("the actual techniques
+for evaluating axes … will be interchangeable").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from ..xmlmodel.nodes import Node
+from .primitives import Primitive, apply_primitive
+from .regex import (
+    AXIS_EXPRESSIONS,
+    Axis,
+    AxisExpression,
+    AxisRef,
+    Concat,
+    PrimitiveStep,
+    SelfStep,
+    Star,
+    UnionExpr,
+)
+
+
+def eval_axis(nodes: Iterable[Node], axis: Axis) -> set[Node]:
+    """evalχ(S) — apply the axis expression E(χ) to the node set ``S``.
+
+    This is the *untyped* axis function χ₀ of the paper: attribute and
+    namespace nodes are neither filtered out nor specially selected; the
+    typed layer in :mod:`repro.axes.functions` takes care of that.
+    """
+    node_set = set(nodes)
+    if axis is Axis.SELF:
+        return node_set
+    return eval_expression(node_set, AXIS_EXPRESSIONS[axis])
+
+
+def eval_expression(nodes: set[Node], expression: AxisExpression) -> set[Node]:
+    """Evaluate an axis regular expression on a node set.
+
+    Mirrors the case analysis of Algorithm 3.2:
+
+    * ``evalself(S) = S``
+    * ``evale1.e2(S) = evale2(evale1(S))``
+    * ``evalR(S) = {R(x) | x ∈ S}``
+    * ``evalχ1∪χ2(S) = evalχ1(S) ∪ evalχ2(S)``
+    * ``eval(R1∪…∪Rn)*(S)`` — worklist closure, linear in |dom|.
+    """
+    if isinstance(expression, SelfStep):
+        return set(nodes)
+    if isinstance(expression, PrimitiveStep):
+        return _eval_primitive(nodes, expression.primitive)
+    if isinstance(expression, AxisRef):
+        return eval_axis(nodes, expression.axis)
+    if isinstance(expression, Concat):
+        return eval_expression(eval_expression(nodes, expression.left), expression.right)
+    if isinstance(expression, UnionExpr):
+        return eval_expression(nodes, expression.left) | eval_expression(nodes, expression.right)
+    if isinstance(expression, Star):
+        return _eval_star(nodes, expression.primitives)
+    raise TypeError(f"unknown axis expression {expression!r}")  # pragma: no cover
+
+
+def _eval_primitive(nodes: set[Node], primitive: Primitive) -> set[Node]:
+    result: set[Node] = set()
+    for node in nodes:
+        image = apply_primitive(primitive, node)
+        if image is not None:
+            result.add(image)
+    return result
+
+
+def _eval_star(nodes: set[Node], primitives: tuple[Primitive, ...]) -> set[Node]:
+    """eval(R1∪…∪Rn)*(S): nodes reachable from S in zero or more steps.
+
+    The worklist (``pending``) plays the role of the list S' in the paper;
+    the ``seen`` set is the parallel direct-access structure that makes the
+    membership test constant time, giving the overall O(|dom|) bound.
+    """
+    seen: set[Node] = set(nodes)
+    pending: list[Node] = list(nodes)
+    while pending:
+        node = pending.pop()
+        for primitive in primitives:
+            image = apply_primitive(primitive, node)
+            if image is not None and image not in seen:
+                seen.add(image)
+                pending.append(image)
+    return seen

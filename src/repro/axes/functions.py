@@ -1,0 +1,302 @@
+"""Typed XPath axes: efficient direct implementations (paper §3–§4).
+
+Two flavours of axis application are provided:
+
+* **node-at-a-time** — :func:`axis_nodes` returns, for a single context node,
+  the list of nodes reached via a typed axis, in document order.  The
+  engines use it to evaluate location steps, combined with
+  :func:`proximity_sorted` which orders the result by the axis' proximity
+  relation <doc,χ (document order for forward axes, reverse document order
+  for reverse axes) so that context positions come out right.
+
+* **set-at-a-time** — :func:`axis_set` applies a typed axis to a whole node
+  set in time O(|dom|) using precomputed subtree extents.  This is the
+  workhorse of the Core XPath algebra (Section 10.1), of the Extended Wadler
+  backward propagation (Section 11) and of the S↓ location-path evaluation of
+  the top-down engine.
+
+Both follow the paper's typing rule (Section 4)::
+
+    attribute(S) := child0(S) ∩ T(attribute())
+    namespace(S) := child0(S) ∩ T(namespace())
+    χ(S)         := χ0(S) − (T(attribute()) ∪ T(namespace()))   otherwise
+
+Note that, as written in the paper, the last rule removes attribute and
+namespace nodes from the result of *every* other axis, including ``self``;
+we follow the paper exactly (see DESIGN.md, "Key design decisions").
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Optional
+
+from ..xmlmodel.document import Document
+from ..xmlmodel.nodes import Node, NodeType
+from .nodetests import NodeTest
+from .regex import Axis, inverse_axis, is_reverse_axis
+
+# ----------------------------------------------------------------------
+# Per-document navigation index (subtree extents)
+# ----------------------------------------------------------------------
+class NavigationIndex:
+    """Per-document precomputed navigation data.
+
+    ``subtree_end[node]`` is the largest document-order value occurring in the
+    subtree rooted at ``node`` (over the full child0 tree).  With it,
+    ``following`` and ``preceding`` become order-interval queries, which gives
+    the O(|dom|) set-at-a-time axis application of Lemma 3.3.
+    """
+
+    def __init__(self, document: Document):
+        self.document = document
+        self.nodes_in_order: list[Node] = document.dom
+        self.subtree_end: dict[Node, int] = {}
+        self._compute_subtree_ends()
+        self.regular_nodes: list[Node] = [
+            node for node in self.nodes_in_order if not node.is_special_child
+        ]
+
+    def _compute_subtree_ends(self) -> None:
+        # Post-order accumulation: a node's extent is the max of its own order
+        # and its children's extents.
+        for node in reversed(self.nodes_in_order):
+            end = node.order
+            for child in node.child0_sequence():
+                child_end = self.subtree_end.get(child, child.order)
+                if child_end > end:
+                    end = child_end
+            self.subtree_end[node] = end
+
+    def nodes_after(self, order: int) -> list[Node]:
+        """All non-special nodes with document order strictly greater than ``order``."""
+        return [node for node in self.regular_nodes if node.order > order]
+
+    def nodes_with_subtree_before(self, order: int) -> list[Node]:
+        """All non-special nodes whose whole subtree precedes ``order``."""
+        return [
+            node
+            for node in self.regular_nodes
+            if self.subtree_end[node] < order
+        ]
+
+
+_NAV_CACHE: dict[int, NavigationIndex] = {}
+
+
+def navigation_index(document: Document) -> NavigationIndex:
+    """Return the cached :class:`NavigationIndex` for ``document``."""
+    key = id(document)
+    index = _NAV_CACHE.get(key)
+    if index is None or index.document is not document:
+        index = NavigationIndex(document)
+        _NAV_CACHE[key] = index
+    return index
+
+
+# ----------------------------------------------------------------------
+# Node-at-a-time axis application
+# ----------------------------------------------------------------------
+def _regular(nodes: Iterable[Node]) -> list[Node]:
+    return [node for node in nodes if not node.is_special_child]
+
+
+def axis_nodes(node: Node, axis: Axis) -> list[Node]:
+    """Nodes reached from ``node`` via the typed axis, in document order."""
+    if axis is Axis.SELF:
+        return [] if node.is_special_child else [node]
+    if axis is Axis.ATTRIBUTE:
+        return list(node.attributes) if node.node_type is NodeType.ELEMENT else []
+    if axis is Axis.NAMESPACE:
+        return list(node.namespaces) if node.node_type is NodeType.ELEMENT else []
+    if axis is Axis.CHILD:
+        return list(node.children)
+    if axis is Axis.PARENT:
+        return [node.parent] if node.parent is not None else []
+    if axis is Axis.DESCENDANT:
+        return list(node.iter_descendants())
+    if axis is Axis.DESCENDANT_OR_SELF:
+        result = [] if node.is_special_child else [node]
+        result.extend(node.iter_descendants())
+        return result
+    if axis is Axis.ANCESTOR:
+        return list(reversed(list(node.iter_ancestors())))
+    if axis is Axis.ANCESTOR_OR_SELF:
+        result = list(reversed(list(node.iter_ancestors())))
+        if not node.is_special_child:
+            result.append(node)
+        return result
+    if axis is Axis.FOLLOWING_SIBLING:
+        result = []
+        sibling = node.next_sibling
+        while sibling is not None:
+            if not sibling.is_special_child:
+                result.append(sibling)
+            sibling = sibling.next_sibling
+        return result
+    if axis is Axis.PRECEDING_SIBLING:
+        result = []
+        sibling = node.prev_sibling
+        while sibling is not None:
+            if not sibling.is_special_child:
+                result.append(sibling)
+            sibling = sibling.prev_sibling
+        return list(reversed(result))
+    if axis is Axis.FOLLOWING:
+        return _following_nodes(node)
+    if axis is Axis.PRECEDING:
+        return _preceding_nodes(node)
+    raise ValueError(f"unknown axis {axis}")  # pragma: no cover
+
+
+def _following_nodes(node: Node) -> list[Node]:
+    """following(x): ancestor-or-self . nextsibling⁺ . descendant-or-self, typed."""
+    result: list[Node] = []
+    anchor: Optional[Node] = node
+    while anchor is not None:
+        sibling = anchor.next_sibling
+        while sibling is not None:
+            if not sibling.is_special_child:
+                result.append(sibling)
+                result.extend(sibling.iter_descendants())
+            else:
+                # An attribute/namespace sibling still has no descendants to add,
+                # and is itself filtered out by the typing rule.
+                pass
+            sibling = sibling.next_sibling
+        anchor = anchor.parent
+    return sorted(result, key=lambda n: n.order)
+
+
+def _preceding_nodes(node: Node) -> list[Node]:
+    """preceding(x): symmetric to following, via previous siblings."""
+    result: list[Node] = []
+    anchor: Optional[Node] = node
+    while anchor is not None:
+        sibling = anchor.prev_sibling
+        while sibling is not None:
+            if not sibling.is_special_child:
+                result.append(sibling)
+                result.extend(sibling.iter_descendants())
+            sibling = sibling.prev_sibling
+        anchor = anchor.parent
+    return sorted(result, key=lambda n: n.order)
+
+
+def proximity_sorted(nodes: Iterable[Node], axis: Axis) -> list[Node]:
+    """Sort ``nodes`` by the proximity relation <doc,χ of the axis.
+
+    Forward axes use document order, reverse axes (parent, ancestor,
+    ancestor-or-self, preceding, preceding-sibling) use reverse document
+    order; this determines context positions (paper Section 4, ``idxχ``).
+    """
+    return sorted(nodes, key=lambda n: n.order, reverse=is_reverse_axis(axis))
+
+
+def step_candidates(node: Node, axis: Axis, test: NodeTest) -> list[Node]:
+    """Nodes reachable from ``node`` via ``axis`` that satisfy ``test``.
+
+    Returned in document order; use :func:`proximity_sorted` for positions.
+    """
+    return [candidate for candidate in axis_nodes(node, axis) if test.matches(candidate, axis)]
+
+
+# ----------------------------------------------------------------------
+# Set-at-a-time axis application (O(|dom|))
+# ----------------------------------------------------------------------
+def axis_set(document: Document, nodes: Iterable[Node], axis: Axis) -> set[Node]:
+    """χ(S) for a whole node set, in time O(|dom|).
+
+    The implementation mirrors Definition 3.1 (χ(X₀) = {x | ∃x₀ ∈ X₀ : x₀χx})
+    with the typing rule of Section 4 applied.
+    """
+    source = set(nodes)
+    if not source:
+        return set()
+    if axis is Axis.SELF:
+        return {node for node in source if not node.is_special_child}
+    if axis is Axis.ATTRIBUTE:
+        result: set[Node] = set()
+        for node in source:
+            result.update(node.attributes)
+        return result
+    if axis is Axis.NAMESPACE:
+        result = set()
+        for node in source:
+            result.update(node.namespaces)
+        return result
+    if axis is Axis.CHILD:
+        result = set()
+        for node in source:
+            result.update(node.children)
+        return result
+    if axis is Axis.PARENT:
+        return {node.parent for node in source if node.parent is not None and not node.parent.is_special_child}
+    if axis is Axis.DESCENDANT or axis is Axis.DESCENDANT_OR_SELF:
+        return _descendant_set(document, source, include_self=axis is Axis.DESCENDANT_OR_SELF)
+    if axis is Axis.ANCESTOR or axis is Axis.ANCESTOR_OR_SELF:
+        return _ancestor_set(source, include_self=axis is Axis.ANCESTOR_OR_SELF)
+    if axis is Axis.FOLLOWING_SIBLING:
+        result = set()
+        for node in source:
+            sibling = node.next_sibling
+            while sibling is not None:
+                if not sibling.is_special_child:
+                    result.add(sibling)
+                sibling = sibling.next_sibling
+        return result
+    if axis is Axis.PRECEDING_SIBLING:
+        result = set()
+        for node in source:
+            sibling = node.prev_sibling
+            while sibling is not None:
+                if not sibling.is_special_child:
+                    result.add(sibling)
+                sibling = sibling.prev_sibling
+        return result
+    if axis is Axis.FOLLOWING:
+        index = navigation_index(document)
+        threshold = min(index.subtree_end[node] for node in source)
+        return set(index.nodes_after(threshold))
+    if axis is Axis.PRECEDING:
+        index = navigation_index(document)
+        threshold = max(node.order for node in source)
+        return set(index.nodes_with_subtree_before(threshold))
+    raise ValueError(f"unknown axis {axis}")  # pragma: no cover
+
+
+def _descendant_set(document: Document, source: set[Node], include_self: bool) -> set[Node]:
+    """All non-special nodes with an ancestor (or self) in ``source``."""
+    result: set[Node] = set()
+    for start in source:
+        if start in result and not include_self:
+            # Already covered as a descendant of an earlier start node;
+            # its subtree is covered too.
+            continue
+        if include_self and not start.is_special_child:
+            result.add(start)
+        for node in start.iter_descendants():
+            result.add(node)
+    return result
+
+
+def _ancestor_set(source: set[Node], include_self: bool) -> set[Node]:
+    """All ancestors (or self) of nodes in ``source``; amortised O(|dom|)."""
+    result: set[Node] = set()
+    for start in source:
+        if include_self and not start.is_special_child:
+            result.add(start)
+        node = start.parent
+        while node is not None and node not in result:
+            result.add(node)
+            node = node.parent
+    return result
+
+
+def inverse_axis_set(document: Document, nodes: Iterable[Node], axis: Axis) -> set[Node]:
+    """χ⁻¹(S): apply the natural inverse of ``axis`` to the node set.
+
+    By Lemma 10.1, x χ y iff y χ⁻¹ x, so this is simply :func:`axis_set` on
+    the inverse axis.  Used by the Core XPath algebra (S←) and by the
+    backward propagation of the Extended Wadler evaluator (§11).
+    """
+    return axis_set(document, nodes, inverse_axis(axis))

@@ -1,0 +1,71 @@
+"""Primitive tree relations: firstchild, nextsibling and their inverses.
+
+Paper Section 3 defines all XPath axes in terms of the partial functions
+``firstchild`` and ``nextsibling`` (both part of the DOM) and their inverses.
+Here the four primitives are exposed both as functions ``dom → dom ∪ {None}``
+and as named constants so that the regular-expression axis definitions in
+:mod:`repro.axes.regex` can refer to them symbolically.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import Callable, Optional
+
+from ..xmlmodel.nodes import Node
+
+
+class Primitive(enum.Enum):
+    """Symbolic names for the four primitive relations of Table I."""
+
+    FIRSTCHILD = "firstchild"
+    NEXTSIBLING = "nextsibling"
+    FIRSTCHILD_INVERSE = "firstchild⁻¹"
+    NEXTSIBLING_INVERSE = "nextsibling⁻¹"
+
+
+def firstchild(node: Node) -> Optional[Node]:
+    """The first node of ``node``'s child0 sequence, or ``None`` for leaves."""
+    return node.first_child
+
+
+def nextsibling(node: Node) -> Optional[Node]:
+    """The right neighbour of ``node`` among its parent's child0 sequence."""
+    return node.next_sibling
+
+
+def firstchild_inverse(node: Node) -> Optional[Node]:
+    """The parent of ``node`` if ``node`` is its parent's first child."""
+    parent = node.parent
+    if parent is not None and parent.first_child is node:
+        return parent
+    return None
+
+
+def nextsibling_inverse(node: Node) -> Optional[Node]:
+    """The left neighbour of ``node``, or ``None`` if it is the first child."""
+    return node.prev_sibling
+
+
+PRIMITIVE_FUNCTIONS: dict[Primitive, Callable[[Node], Optional[Node]]] = {
+    Primitive.FIRSTCHILD: firstchild,
+    Primitive.NEXTSIBLING: nextsibling,
+    Primitive.FIRSTCHILD_INVERSE: firstchild_inverse,
+    Primitive.NEXTSIBLING_INVERSE: nextsibling_inverse,
+}
+
+
+def apply_primitive(primitive: Primitive, node: Node) -> Optional[Node]:
+    """Apply a primitive relation to a node; ``None`` encodes "null"."""
+    return PRIMITIVE_FUNCTIONS[primitive](node)
+
+
+def primitive_pairs(primitive: Primitive, dom: list[Node]) -> list[tuple[Node, Node]]:
+    """The binary-relation view {(x, f(x)) | f(x) ≠ null} of a primitive."""
+    pairs: list[tuple[Node, Node]] = []
+    func = PRIMITIVE_FUNCTIONS[primitive]
+    for node in dom:
+        image = func(node)
+        if image is not None:
+            pairs.append((node, image))
+    return pairs

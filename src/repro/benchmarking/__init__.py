@@ -1,0 +1,26 @@
+"""Benchmark harness, experiment drivers and reporting for the reproduction."""
+
+from .harness import (
+    EngineSeries,
+    ExperimentResult,
+    Measurement,
+    doubling_like,
+    growth_ratios,
+    run_series,
+    time_query,
+)
+from .reporting import format_seconds, print_experiment, render_series_summary, render_table
+
+__all__ = [
+    "EngineSeries",
+    "ExperimentResult",
+    "Measurement",
+    "doubling_like",
+    "format_seconds",
+    "growth_ratios",
+    "print_experiment",
+    "render_series_summary",
+    "render_table",
+    "run_series",
+    "time_query",
+]

@@ -1,0 +1,165 @@
+"""Measurement harness for the experiment reproductions.
+
+The paper reports seconds per (engine, query size, document size) point and
+stops a series once an engine becomes unusable (its plots top out around 10³
+seconds).  The harness mirrors that protocol:
+
+* :func:`time_query` measures one (engine, query, document) point, returning
+  wall-clock seconds and the engine's operation counters;
+* :func:`run_series` sweeps a parameter (query size or document size) for
+  several engines, *cutting an engine's series off* once a point exceeds the
+  configured budget — exactly how the paper's curves end early for the
+  exponential systems.
+
+Operation counters (:class:`~repro.engines.base.EvaluationStats`) are
+reported next to the timings because they make the exponential-vs-polynomial
+shape reproducible on any machine, independent of constant factors.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Optional, Sequence
+
+from ..engines.base import XPathEngine
+from ..xmlmodel.document import Document
+
+
+@dataclass
+class Measurement:
+    """One measured (engine, parameter) point."""
+
+    parameter: int
+    seconds: float
+    work: int
+    counters: dict[str, int]
+    result_size: Optional[int] = None
+
+
+@dataclass
+class EngineSeries:
+    """All measurements of one engine across the swept parameter."""
+
+    engine_name: str
+    points: list[Measurement] = field(default_factory=list)
+    cut_off_at: Optional[int] = None
+
+    def seconds_by_parameter(self) -> dict[int, float]:
+        return {point.parameter: point.seconds for point in self.points}
+
+    def work_by_parameter(self) -> dict[int, int]:
+        return {point.parameter: point.work for point in self.points}
+
+
+@dataclass
+class ExperimentResult:
+    """The outcome of one experiment driver (one figure or table)."""
+
+    experiment_id: str
+    title: str
+    parameter_name: str
+    parameters: list[int]
+    series: list[EngineSeries]
+    notes: str = ""
+
+    def series_for(self, engine_name: str) -> EngineSeries:
+        for series in self.series:
+            if series.engine_name == engine_name:
+                return series
+        raise KeyError(engine_name)
+
+
+def time_query(
+    engine: XPathEngine,
+    query: str,
+    document: Document,
+    *,
+    repeat: int = 1,
+) -> Measurement:
+    """Measure one query evaluation (best of ``repeat`` runs)."""
+    best_seconds = float("inf")
+    counters: dict[str, int] = {}
+    work = 0
+    result_size: Optional[int] = None
+    for _ in range(max(1, repeat)):
+        start = time.perf_counter()
+        value = engine.evaluate(query, document)
+        elapsed = time.perf_counter() - start
+        if elapsed < best_seconds:
+            best_seconds = elapsed
+            stats = engine.last_stats
+            counters = stats.as_dict() if stats is not None else {}
+            work = stats.total_work() if stats is not None else 0
+            try:
+                result_size = len(value)  # type: ignore[arg-type]
+            except TypeError:
+                result_size = None
+    return Measurement(
+        parameter=0,
+        seconds=best_seconds,
+        work=work,
+        counters=counters,
+        result_size=result_size,
+    )
+
+
+def run_series(
+    experiment_id: str,
+    title: str,
+    parameter_name: str,
+    parameters: Sequence[int],
+    engines: Sequence[XPathEngine],
+    query_for: Callable[[int], str],
+    document_for: Callable[[int], Document],
+    *,
+    per_point_budget: float = 5.0,
+    repeat: int = 1,
+    notes: str = "",
+) -> ExperimentResult:
+    """Sweep ``parameters`` for every engine, cutting series off at the budget.
+
+    ``query_for`` and ``document_for`` map the swept parameter to the query
+    string and the document (one of them is typically constant).
+    """
+    all_series: list[EngineSeries] = []
+    for engine in engines:
+        series = EngineSeries(engine_name=engine.name)
+        for parameter in parameters:
+            document = document_for(parameter)
+            query = query_for(parameter)
+            measurement = time_query(engine, query, document, repeat=repeat)
+            measurement.parameter = parameter
+            series.points.append(measurement)
+            if measurement.seconds > per_point_budget:
+                series.cut_off_at = parameter
+                break
+        all_series.append(series)
+    return ExperimentResult(
+        experiment_id=experiment_id,
+        title=title,
+        parameter_name=parameter_name,
+        parameters=list(parameters),
+        series=all_series,
+        notes=notes,
+    )
+
+
+def growth_ratios(values: Sequence[float]) -> list[float]:
+    """Consecutive ratios v[i+1]/v[i]; the paper's exponential curves show
+    roughly constant ratios > 1, polynomial ones show ratios tending to 1."""
+    ratios: list[float] = []
+    for previous, current in zip(values, values[1:]):
+        if previous > 0:
+            ratios.append(current / previous)
+    return ratios
+
+
+def doubling_like(values: Sequence[float], minimum_ratio: float = 1.6) -> bool:
+    """Heuristic used by shape tests: does the tail of the series keep
+    multiplying by at least ``minimum_ratio`` (exponential-looking growth)?"""
+    ratios = growth_ratios(values)
+    if len(ratios) < 2:
+        return False
+    tail = ratios[-2:]
+    return all(ratio >= minimum_ratio for ratio in tail)

@@ -1,0 +1,89 @@
+"""Plain-text reporting of experiment results.
+
+The drivers in :mod:`repro.benchmarking.experiments` return
+:class:`~repro.benchmarking.harness.ExperimentResult` objects; this module
+renders them as the same kind of rows/series the paper's figures and tables
+show — query size (or document size) against seconds per engine — plus the
+machine-independent operation counts.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from .harness import EngineSeries, ExperimentResult
+
+
+def format_seconds(seconds: float) -> str:
+    """Human-readable seconds with enough precision at the small end."""
+    if seconds < 0.0005:
+        return f"{seconds * 1e6:.0f}µs"
+    if seconds < 1.0:
+        return f"{seconds * 1e3:.1f}ms"
+    return f"{seconds:.2f}s"
+
+
+def render_table(result: ExperimentResult, *, show_work: bool = False) -> str:
+    """Render an experiment as an aligned text table (one row per parameter)."""
+    headers = [result.parameter_name]
+    for series in result.series:
+        headers.append(f"{series.engine_name} [s]")
+        if show_work:
+            headers.append(f"{series.engine_name} [ops]")
+
+    rows: list[list[str]] = []
+    for parameter in result.parameters:
+        row = [str(parameter)]
+        any_value = False
+        for series in result.series:
+            seconds = series.seconds_by_parameter().get(parameter)
+            work = series.work_by_parameter().get(parameter)
+            row.append("-" if seconds is None else format_seconds(seconds))
+            if show_work:
+                row.append("-" if work is None else str(work))
+            if seconds is not None:
+                any_value = True
+        if any_value:
+            rows.append(row)
+
+    widths = [len(header) for header in headers]
+    for row in rows:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return "  ".join(cell.rjust(width) for cell, width in zip(cells, widths))
+
+    lines = [
+        f"== {result.experiment_id}: {result.title} ==",
+        render_row(headers),
+        render_row(["-" * width for width in widths]),
+    ]
+    lines.extend(render_row(row) for row in rows)
+    for series in result.series:
+        if series.cut_off_at is not None:
+            lines.append(
+                f"   ({series.engine_name} series cut off at "
+                f"{result.parameter_name}={series.cut_off_at}: exceeded the per-point budget)"
+            )
+    if result.notes:
+        lines.append(f"   note: {result.notes}")
+    return "\n".join(lines)
+
+
+def render_series_summary(series: EngineSeries) -> str:
+    """One-line summary of a single engine's series (used in examples)."""
+    if not series.points:
+        return f"{series.engine_name}: no data"
+    last = series.points[-1]
+    return (
+        f"{series.engine_name}: {len(series.points)} points, "
+        f"last at parameter {last.parameter} took {format_seconds(last.seconds)} "
+        f"({last.work} ops)"
+    )
+
+
+def print_experiment(result: ExperimentResult, *, show_work: bool = False) -> None:
+    """Print an experiment table to stdout (benchmark drivers use this)."""
+    print(render_table(result, show_work=show_work))
+    print()

@@ -1,0 +1,129 @@
+"""Command-line interface: evaluate XPath queries against XML files.
+
+Usage::
+
+    python -m repro.cli QUERY [FILE] [--engine NAME] [--classify] [--stats]
+
+Reads the XML document from FILE (or stdin when omitted), evaluates QUERY
+and prints the result: one line per node for node-set results (element name,
+document-order position and string value), or the scalar value otherwise.
+
+Examples::
+
+    python -m repro.cli "count(//item)" data.xml
+    python -m repro.cli "//book[price < 60]/title" catalog.xml --engine corexpath
+    echo "<a><b/></a>" | python -m repro.cli "//b" --classify --stats
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from .api import DEFAULT_ENGINE, classify_query, engine_for_query, engine_names, get_engine
+from .errors import ReproError
+from .xmlmodel.parser import parse_xml
+from .xmlmodel.serializer import serialize_node
+from .xpath.values import NodeSet, to_string
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath",
+        description="Evaluate an XPath 1.0 query against an XML document.",
+    )
+    parser.add_argument("query", help="the XPath query to evaluate")
+    parser.add_argument(
+        "file",
+        nargs="?",
+        help="XML input file (reads standard input when omitted)",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(engine_names()) + ["auto"],
+        help=f"evaluation engine (default: {DEFAULT_ENGINE}; 'auto' picks by fragment)",
+    )
+    parser.add_argument(
+        "--classify",
+        action="store_true",
+        help="print the query's Figure-1 fragment and recommended engine",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print the engine's operation counters after evaluation",
+    )
+    parser.add_argument(
+        "--xml",
+        action="store_true",
+        help="print node-set results as serialised XML instead of summaries",
+    )
+    return parser
+
+
+def run(argv: Optional[Sequence[str]] = None, stdin: Optional[str] = None) -> int:
+    """Entry point; returns the process exit code (0 on success)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        if args.file:
+            with open(args.file, "r", encoding="utf-8") as handle:
+                source = handle.read()
+        else:
+            source = stdin if stdin is not None else sys.stdin.read()
+        document = parse_xml(source)
+
+        if args.classify:
+            info = classify_query(args.query)
+            print(f"fragment:  {info.fragment.value}")
+            print(f"engine:    {info.recommended_engine}")
+            print(f"bound:     {info.complexity}")
+            for violation in info.wadler_violations:
+                print(f"           {violation}")
+
+        if args.engine in (None, DEFAULT_ENGINE):
+            engine = get_engine(DEFAULT_ENGINE)
+        elif args.engine == "auto":
+            engine = engine_for_query(args.query)
+        else:
+            engine = get_engine(args.engine)
+
+        value = engine.evaluate(args.query, document)
+        _print_value(value, as_xml=args.xml)
+
+        if args.stats and engine.last_stats is not None:
+            counters = engine.last_stats.as_dict()
+            print("-- stats --", file=sys.stderr)
+            for name, count in counters.items():
+                if count:
+                    print(f"{name}: {count}", file=sys.stderr)
+        return 0
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _print_value(value, *, as_xml: bool) -> None:
+    if isinstance(value, NodeSet):
+        for node in value:
+            if as_xml and (node.is_element or node.is_root):
+                print(serialize_node(node))
+            else:
+                label = node.name if node.name is not None else node.node_type.value
+                print(f"{node.order}\t{label}\t{node.string_value()}")
+        return
+    print(to_string(value))
+
+
+def main() -> None:  # pragma: no cover - thin wrapper
+    sys.exit(run())
+
+
+if __name__ == "__main__":  # pragma: no cover
+    main()

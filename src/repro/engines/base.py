@@ -1,0 +1,164 @@
+"""Engine interface, evaluation statistics and shared helpers.
+
+Every algorithm of the paper is packaged as an :class:`XPathEngine` with a
+uniform ``evaluate`` / ``select`` API, so the benchmark harness and the
+differential tests can swap engines freely.  The engines also report
+:class:`EvaluationStats` — deterministic operation counters that expose the
+exponential-vs-polynomial behaviour independently of wall-clock noise (the
+paper's figures report seconds; our experiment drivers report both).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping, Optional, Union
+
+from ..errors import XPathEvaluationError
+from ..xmlmodel.document import Document
+from ..xmlmodel.nodes import Node
+from ..xpath.ast import Expression
+from ..xpath.context import Context, StaticContext, root_context
+from ..xpath.functions import FunctionLibrary
+from ..xpath.normalize import compile_query
+from ..xpath.values import NodeSet, XPathValue
+
+QueryLike = Union[str, Expression]
+
+
+@dataclass
+class EvaluationStats:
+    """Operation counters collected during one query evaluation.
+
+    Attributes
+    ----------
+    expression_evaluations:
+        Number of (subexpression, context) evaluations performed.  For the
+        naive engine this grows exponentially with the query size on the
+        paper's Experiment-1/2/3 workloads; for the CVT-based engines it is
+        polynomial.
+    location_step_applications:
+        Number of times a location step was applied to a single context node.
+    axis_nodes_visited:
+        Number of nodes produced by axis applications (before node tests).
+    table_rows:
+        Total number of context-value-table rows materialised (CVT engines).
+    memo_hits / memo_misses:
+        Data-pool statistics (Section 9 engines).
+    """
+
+    expression_evaluations: int = 0
+    location_step_applications: int = 0
+    axis_nodes_visited: int = 0
+    table_rows: int = 0
+    memo_hits: int = 0
+    memo_misses: int = 0
+    extras: dict[str, int] = field(default_factory=dict)
+
+    def bump(self, name: str, amount: int = 1) -> None:
+        """Increment an ad-hoc named counter."""
+        self.extras[name] = self.extras.get(name, 0) + amount
+
+    def as_dict(self) -> dict[str, int]:
+        """All counters as a flat dictionary (used by the reporting layer)."""
+        result = {
+            "expression_evaluations": self.expression_evaluations,
+            "location_step_applications": self.location_step_applications,
+            "axis_nodes_visited": self.axis_nodes_visited,
+            "table_rows": self.table_rows,
+            "memo_hits": self.memo_hits,
+            "memo_misses": self.memo_misses,
+        }
+        result.update(self.extras)
+        return result
+
+    def total_work(self) -> int:
+        """A single scalar proxy for the amount of work performed."""
+        return (
+            self.expression_evaluations
+            + self.location_step_applications
+            + self.axis_nodes_visited
+            + self.table_rows
+            + sum(self.extras.values())
+        )
+
+
+class XPathEngine:
+    """Common behaviour of all evaluation engines.
+
+    Subclasses implement :meth:`_evaluate`; the public methods handle query
+    compilation, default contexts, variable bindings and statistics.
+    """
+
+    #: Short identifier used in benchmark output tables.
+    name: str = "abstract"
+
+    def __init__(self) -> None:
+        self.last_stats: Optional[EvaluationStats] = None
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def evaluate(
+        self,
+        query: QueryLike,
+        document: Document,
+        context: Optional[Union[Context, Node]] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> XPathValue:
+        """Evaluate ``query`` over ``document`` and return its XPath value.
+
+        ``context`` defaults to ⟨root, 1, 1⟩; passing a bare node is accepted
+        and wrapped into a context with position = size = 1.
+        """
+        expression = compile_query(query)
+        dynamic_context = self._coerce_context(context, document)
+        static_context = StaticContext(document, dict(variables or {}))
+        stats = EvaluationStats()
+        value = self._evaluate(expression, static_context, dynamic_context, stats)
+        self.last_stats = stats
+        return value
+
+    def select(
+        self,
+        query: QueryLike,
+        document: Document,
+        context: Optional[Union[Context, Node]] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> list[Node]:
+        """Evaluate a node-set query and return its nodes in document order."""
+        value = self.evaluate(query, document, context, variables)
+        if not isinstance(value, NodeSet):
+            raise XPathEvaluationError(
+                f"query does not produce a node set (got {type(value).__name__})"
+            )
+        return list(value.in_document_order())
+
+    # ------------------------------------------------------------------
+    # Subclass protocol
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        expression: Expression,
+        static_context: StaticContext,
+        context: Context,
+        stats: EvaluationStats,
+    ) -> XPathValue:
+        raise NotImplementedError
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _coerce_context(context: Optional[Union[Context, Node]], document: Document) -> Context:
+        if context is None:
+            return root_context(document)
+        if isinstance(context, Context):
+            return context
+        return Context(context, 1, 1)
+
+    @staticmethod
+    def _function_library(static_context: StaticContext) -> FunctionLibrary:
+        return FunctionLibrary(static_context)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<{type(self).__name__} ({self.name})>"

@@ -1,0 +1,285 @@
+"""Bottom-up XPath evaluation — Algorithm 6.3 (paper Section 6).
+
+The engine materialises a context-value table for *every* node of the query
+parse tree, processing the tree from the leaves upwards: a table is computed
+once the tables of all direct subexpressions are available, exactly as in
+Algorithm 6.3 (the recursive post-order used here visits nodes in one of the
+orders the algorithm's "take a ready node" loop could have chosen).
+
+Tables are keyed by the relevant context components (Example 6.4, footnote 8;
+formalised as Relev(N) in Section 8.2), so the table of a subexpression that
+ignores position and size has at most |dom| rows.  Expressions that do depend
+on position/size get rows for every admissible ⟨k, n⟩ pair, which is the
+O(|D|³)-per-table worst case of Theorem 6.6 — the price of the bottom-up
+strategy that Sections 7 and 8 then remove.  Use this engine as the
+executable specification on small to medium documents; the top-down and
+MinContext engines are the practical ones.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..axes.functions import proximity_sorted, step_candidates
+from ..xmlmodel.nodes import Node
+from ..xpath.ast import (
+    BinaryOp,
+    ContextFunction,
+    Expression,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    Negate,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+    VariableReference,
+)
+from ..xpath.context import Context, StaticContext
+from ..xpath.functions import FunctionLibrary
+from ..xpath.values import NodeSet, XPathValue, predicate_truth
+from .base import EvaluationStats, XPathEngine
+from .common import evaluate_context_function
+from .cvt import ContextValueTable, TableStore
+from .relevance import (
+    CN,
+    CP,
+    CS,
+    EMPTY,
+    ONLY_CN,
+    ONLY_CP,
+    ONLY_CS,
+    ContextKey,
+    compute_relevance,
+    enumerate_keys,
+)
+
+
+class BottomUpEngine(XPathEngine):
+    """Algorithm 6.3: compute E↑ tables for all subexpressions, leaves first."""
+
+    name = "bottomup"
+
+    def _evaluate(
+        self,
+        expression: Expression,
+        static_context: StaticContext,
+        context: Context,
+        stats: EvaluationStats,
+    ) -> XPathValue:
+        builder = _TableBuilder(static_context, stats)
+        table = builder.build(expression)
+        self.last_tables = builder.store  # exposed for tests / inspection
+        return table.get_context(context)
+
+
+def _reproject(key: ContextKey, relevance: frozenset[str]) -> ContextKey:
+    """Project a parent table key onto a child expression's relevance."""
+    node, position, size = key
+    return (
+        node if CN in relevance else None,
+        position if CP in relevance else None,
+        size if CS in relevance else None,
+    )
+
+
+class _TableBuilder:
+    """Builds the context-value tables of one query over one document."""
+
+    def __init__(self, static_context: StaticContext, stats: EvaluationStats):
+        self.static_context = static_context
+        self.document = static_context.document
+        self.stats = stats
+        self.functions = FunctionLibrary(static_context)
+        self.store = TableStore()
+        self.relevance: dict[Expression, frozenset[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Entry point
+    # ------------------------------------------------------------------
+    def build(self, expression: Expression) -> ContextValueTable:
+        if not self.relevance:
+            self.relevance = compute_relevance(expression)
+        existing = self.store.maybe_get(expression)
+        if existing is not None:
+            return existing
+        table = self._build_table(expression)
+        self.store.add(table)
+        self.stats.table_rows += len(table)
+        return table
+
+    def _relev(self, expression: Expression) -> frozenset[str]:
+        relev = self.relevance.get(expression)
+        if relev is None:
+            # Expression outside the tree passed to build() (defensive).
+            self.relevance.update(compute_relevance(expression))
+            relev = self.relevance[expression]
+        return relev
+
+    # ------------------------------------------------------------------
+    # Dispatch
+    # ------------------------------------------------------------------
+    def _build_table(self, expression: Expression) -> ContextValueTable:
+        if isinstance(expression, (NumberLiteral, StringLiteral, VariableReference)):
+            return self._constant_table(expression)
+        if isinstance(expression, ContextFunction):
+            return self._context_function_table(expression)
+        if isinstance(expression, (BinaryOp, Negate, FunctionCall)):
+            return self._operator_table(expression)
+        if isinstance(expression, Step):
+            return self._step_table(expression)
+        if isinstance(expression, LocationPath):
+            return self._location_path_table(expression)
+        if isinstance(expression, FilterExpr):
+            return self._filter_table(expression)
+        if isinstance(expression, PathExpr):
+            return self._path_expr_table(expression)
+        if isinstance(expression, UnionExpr):
+            return self._union_table(expression)
+        raise TypeError(f"cannot build a table for {expression!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # Leaves
+    # ------------------------------------------------------------------
+    def _constant_table(self, expression: Expression) -> ContextValueTable:
+        table = ContextValueTable(expression, EMPTY)
+        if isinstance(expression, NumberLiteral):
+            value: XPathValue = expression.value
+        elif isinstance(expression, StringLiteral):
+            value = expression.value
+        else:
+            assert isinstance(expression, VariableReference)
+            value = self.static_context.variable(expression.name)
+        table.set_key((None, None, None), value)
+        return table
+
+    def _context_function_table(self, expression: ContextFunction) -> ContextValueTable:
+        dom = self.document.dom
+        if expression.name == "position":
+            table = ContextValueTable(expression, ONLY_CP)
+            for position in range(1, len(dom) + 1):
+                table.set_key((None, position, None), float(position))
+            return table
+        if expression.name == "last":
+            table = ContextValueTable(expression, ONLY_CS)
+            for size in range(1, len(dom) + 1):
+                table.set_key((None, None, size), float(size))
+            return table
+        table = ContextValueTable(expression, ONLY_CN)
+        for node in dom:
+            value = evaluate_context_function(expression.name, Context(node, 1, 1))
+            table.set_key((node, None, None), value)
+        return table
+
+    # ------------------------------------------------------------------
+    # Operators and function calls
+    # ------------------------------------------------------------------
+    def _operator_table(self, expression: Expression) -> ContextValueTable:
+        children = list(expression.children())
+        child_tables = [self.build(child) for child in children]
+        relevance = self._relev(expression)
+        table = ContextValueTable(expression, relevance)
+        for key in enumerate_keys(self.document, relevance):
+            args = [
+                child_table.get_key(_reproject(key, self._relev(child)))
+                for child, child_table in zip(children, child_tables)
+            ]
+            if isinstance(expression, BinaryOp):
+                value = self.functions.binary(expression.op, args[0], args[1])
+            elif isinstance(expression, Negate):
+                value = self.functions.negate(args[0])
+            else:
+                assert isinstance(expression, FunctionCall)
+                value = self.functions.call(expression.name, args)
+            table.set_key(key, value)
+        return table
+
+    # ------------------------------------------------------------------
+    # Location paths (Table IV)
+    # ------------------------------------------------------------------
+    def _step_table(self, step: Step) -> ContextValueTable:
+        """E↑ of a location step χ::t[e1]…[em], keyed by the origin node."""
+        predicate_tables = [self.build(predicate) for predicate in step.predicates]
+        table = ContextValueTable(step, ONLY_CN)
+        for origin in self.document.dom:
+            self.stats.location_step_applications += 1
+            candidates = step_candidates(origin, step.axis, step.node_test)
+            self.stats.axis_nodes_visited += len(candidates)
+            survivors = proximity_sorted(candidates, step.axis)
+            for predicate, predicate_table in zip(step.predicates, predicate_tables):
+                size = len(survivors)
+                retained: list[Node] = []
+                for position, node in enumerate(survivors, start=1):
+                    value = predicate_table.get_triple(node, position, size)
+                    if predicate_truth(value, position):
+                        retained.append(node)
+                survivors = retained
+            table.set_key((origin, None, None), NodeSet(survivors))
+        return table
+
+    def _compose_steps(self, start_nodes: set[Node], steps: Sequence[Step]) -> NodeSet:
+        """π1/π2 composition: fold the per-step tables over a start set."""
+        current = set(start_nodes)
+        for step in steps:
+            step_table = self.build(step)
+            merged: set[Node] = set()
+            for node in current:
+                value = step_table.get_key((node, None, None))
+                assert isinstance(value, NodeSet)
+                merged.update(value.as_set())
+            current = merged
+        return NodeSet(current)
+
+    def _location_path_table(self, path: LocationPath) -> ContextValueTable:
+        relevance = self._relev(path)
+        table = ContextValueTable(path, relevance)
+        if path.absolute:
+            value = self._compose_steps({self.document.root}, path.steps)
+            table.set_key((None, None, None), value)
+            return table
+        for node in self.document.dom:
+            table.set_key((node, None, None), self._compose_steps({node}, path.steps))
+        return table
+
+    def _filter_table(self, expression: FilterExpr) -> ContextValueTable:
+        primary_table = self.build(expression.primary)
+        predicate_tables = [self.build(predicate) for predicate in expression.predicates]
+        relevance = self._relev(expression)
+        table = ContextValueTable(expression, relevance)
+        for key, value in primary_table.rows():
+            assert isinstance(value, NodeSet)
+            survivors = list(value.in_document_order())
+            for predicate, predicate_table in zip(expression.predicates, predicate_tables):
+                size = len(survivors)
+                retained: list[Node] = []
+                for position, node in enumerate(survivors, start=1):
+                    predicate_value = predicate_table.get_triple(node, position, size)
+                    if predicate_truth(predicate_value, position):
+                        retained.append(node)
+                survivors = retained
+            table.set_key(_reproject(key, relevance), NodeSet(survivors))
+        return table
+
+    def _path_expr_table(self, expression: PathExpr) -> ContextValueTable:
+        start_table = self.build(expression.start)
+        relevance = self._relev(expression)
+        table = ContextValueTable(expression, relevance)
+        for key, value in start_table.rows():
+            assert isinstance(value, NodeSet)
+            result = self._compose_steps(set(value.as_set()), expression.path.steps)
+            table.set_key(_reproject(key, relevance), result)
+        return table
+
+    def _union_table(self, expression: UnionExpr) -> ContextValueTable:
+        left_table = self.build(expression.left)
+        right_table = self.build(expression.right)
+        relevance = self._relev(expression)
+        table = ContextValueTable(expression, relevance)
+        for key in enumerate_keys(self.document, relevance):
+            left = left_table.get_key(_reproject(key, self._relev(expression.left)))
+            right = right_table.get_key(_reproject(key, self._relev(expression.right)))
+            assert isinstance(left, NodeSet) and isinstance(right, NodeSet)
+            table.set_key(key, left | right)
+        return table

@@ -1,0 +1,101 @@
+"""Helpers shared by several engines.
+
+These are deliberately small, value-level utilities (context primitives,
+predicate filtering, step application); the *strategy* — what gets evaluated
+for which contexts, and in which order — is what distinguishes the engines
+and stays in their own modules.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+from ..axes.functions import proximity_sorted, step_candidates
+from ..axes.regex import Axis
+from ..xmlmodel.nodes import Node
+from ..xpath.ast import Expression, Step
+from ..xpath.context import Context
+from ..xpath.values import XPathValue, predicate_truth, to_number
+from .base import EvaluationStats
+
+#: Signature of the callback used to evaluate a predicate for one context.
+PredicateEvaluator = Callable[[Expression, Context], XPathValue]
+
+
+def evaluate_context_function(name: str, context: Context) -> XPathValue:
+    """Evaluate one of the zero-argument context primitives.
+
+    Covers the primitives of Definition 5.1 (position, last, string, number)
+    plus the name accessors the recommendation also defines on the context
+    node (name, local-name, namespace-uri).
+    """
+    node = context.node
+    if name == "position":
+        return float(context.position)
+    if name == "last":
+        return float(context.size)
+    if name == "string":
+        return node.string_value()
+    if name == "number":
+        return to_number(node.string_value())
+    if name == "name":
+        return node.name or ""
+    if name == "local-name":
+        return (node.name or "").split(":")[-1] if node.name else ""
+    if name == "namespace-uri":
+        if node.name and ":" in node.name:
+            prefix = node.name.split(":", 1)[0]
+            element = node if node.is_element else node.parent
+            while element is not None:
+                for ns in element.namespaces:
+                    if ns.name == prefix:
+                        return ns.value or ""
+                element = element.parent
+        return ""
+    raise ValueError(f"unknown context primitive {name}()")  # pragma: no cover
+
+
+def filter_by_predicates(
+    candidates: Sequence[Node],
+    axis: Axis,
+    predicates: Sequence[Expression],
+    evaluate: PredicateEvaluator,
+) -> list[Node]:
+    """Apply a step's predicates to candidate nodes, in order.
+
+    ``candidates`` must already be restricted by the node test and given in
+    *proximity order* (<doc,χ); each predicate is evaluated for the context
+    ⟨y, idxχ(y, S), |S|⟩ as in Figure 5, and the surviving nodes are re-used
+    as the candidate set of the next predicate.  The returned list preserves
+    proximity order.
+    """
+    survivors = list(candidates)
+    for predicate in predicates:
+        size = len(survivors)
+        retained: list[Node] = []
+        for position, node in enumerate(survivors, start=1):
+            value = evaluate(predicate, Context(node, position, size))
+            if predicate_truth(value, position):
+                retained.append(node)
+        survivors = retained
+    return survivors
+
+
+def apply_step_to_node(
+    node: Node,
+    step: Step,
+    evaluate: PredicateEvaluator,
+    stats: EvaluationStats,
+) -> list[Node]:
+    """Apply one location step to a single context node (Figure 5 semantics).
+
+    Returns the resulting nodes in document order.  This is the basic
+    operation the naive engine recurses over, and it is also used by the
+    CVT-based engines when they materialise step results per context node.
+    """
+    stats.location_step_applications += 1
+    candidates = step_candidates(node, step.axis, step.node_test)
+    stats.axis_nodes_visited += len(candidates)
+    ordered = proximity_sorted(candidates, step.axis)
+    survivors = filter_by_predicates(ordered, step.axis, step.predicates, evaluate)
+    return sorted(survivors, key=lambda n: n.order)

@@ -1,0 +1,101 @@
+"""Context-value tables (paper Section 6, "Context-value Table Principle").
+
+A context-value table for an expression ``e`` holds all valid combinations of
+contexts and values: ``⟨c, v⟩ ∈ table`` iff e evaluates to v in context c.
+Because every expression type induces a functional dependency from the
+context to the value (Theorem 6.2), the table is a mapping.
+
+Tables here are keyed by the *relevant* projection of the context (see
+:mod:`repro.engines.relevance`), which is the restriction the paper applies
+in Example 6.4 (footnote 8) and formalises in Section 8.  The full relation
+over C is recoverable as the Cartesian product with the irrelevant
+components.
+"""
+
+from __future__ import annotations
+
+from typing import Iterator, Optional
+
+from ..xpath.ast import Expression
+from ..xpath.context import Context
+from ..xpath.values import XPathValue
+from .relevance import ContextKey, project_context, project_triple
+
+
+class ContextValueTable:
+    """The context-value table of a single subexpression."""
+
+    __slots__ = ("expression", "relevance", "_rows")
+
+    def __init__(self, expression: Expression, relevance: frozenset[str]):
+        self.expression = expression
+        self.relevance = relevance
+        self._rows: dict[ContextKey, XPathValue] = {}
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def set_key(self, key: ContextKey, value: XPathValue) -> None:
+        self._rows[key] = value
+
+    def set_context(self, context: Context, value: XPathValue) -> None:
+        self._rows[project_context(context, self.relevance)] = value
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def get_context(self, context: Context) -> XPathValue:
+        return self._rows[project_context(context, self.relevance)]
+
+    def get_triple(self, node, position: int, size: int) -> XPathValue:
+        return self._rows[project_triple(node, position, size, self.relevance)]
+
+    def get_key(self, key: ContextKey) -> XPathValue:
+        return self._rows[key]
+
+    def maybe_get_context(self, context: Context) -> Optional[XPathValue]:
+        return self._rows.get(project_context(context, self.relevance))
+
+    def __contains__(self, key: ContextKey) -> bool:
+        return key in self._rows
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._rows)
+
+    def rows(self) -> Iterator[tuple[ContextKey, XPathValue]]:
+        return iter(self._rows.items())
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        relevant = ",".join(sorted(self.relevance)) or "∅"
+        return f"<CVT {self.expression.to_xpath()!r} relev={{{relevant}}} rows={len(self)}>"
+
+
+class TableStore:
+    """The set R of Algorithm 6.3: all tables computed so far, by parse-tree node."""
+
+    def __init__(self) -> None:
+        self._tables: dict[Expression, ContextValueTable] = {}
+
+    def add(self, table: ContextValueTable) -> None:
+        self._tables[table.expression] = table
+
+    def get(self, expression: Expression) -> ContextValueTable:
+        return self._tables[expression]
+
+    def maybe_get(self, expression: Expression) -> Optional[ContextValueTable]:
+        return self._tables.get(expression)
+
+    def __contains__(self, expression: Expression) -> bool:
+        return expression in self._tables
+
+    def __len__(self) -> int:
+        return len(self._tables)
+
+    def total_rows(self) -> int:
+        return sum(len(table) for table in self._tables.values())
+
+    def tables(self) -> Iterator[ContextValueTable]:
+        return iter(self._tables.values())

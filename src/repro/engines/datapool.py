@@ -1,0 +1,103 @@
+"""The data-pool engine: naive recursion + memoisation (paper Section 9).
+
+Section 9 shows how *existing* processors can be repaired without replacing
+their architecture: keep the recursive evaluation strategy, but intercept
+every "atomic evaluation" of a subexpression ``e`` for a context ``c`` with a
+retrieval/storage procedure over a *data pool* of ⟨e, c, v⟩ triples
+(Algorithm 9.1).  Because the number of distinct (subexpression, context)
+pairs is polynomial, the patched engine runs in polynomial time
+(Theorem 9.2) — this is the "Xalan + data pool" column of Table V and the
+contrast to Figure 12.
+
+The implementation subclasses the naive engine and overrides exactly the two
+evaluation entry points, mirroring how little needed to change in Xalan:
+
+* expression evaluations are memoised by (subexpression, ⟨x, k, n⟩);
+* location-path evaluations are memoised by (path, context node) only,
+  because path values do not depend on position or size (Section 9.2).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..xmlmodel.nodes import Node
+from ..xpath.ast import Expression, FilterExpr, LocationPath, PathExpr, Step, UnionExpr
+from ..xpath.context import Context, StaticContext
+from ..xpath.values import NodeSet, XPathValue
+from .base import EvaluationStats, XPathEngine
+from .naive import _Evaluation
+
+
+class DataPoolEngine(XPathEngine):
+    """Recursive engine with an (expression, context) → value data pool."""
+
+    name = "datapool"
+
+    def _evaluate(
+        self,
+        expression: Expression,
+        static_context: StaticContext,
+        context: Context,
+        stats: EvaluationStats,
+    ) -> XPathValue:
+        state = _MemoisedEvaluation(self, static_context, stats)
+        return state.evaluate(expression, context)
+
+
+class _MemoisedEvaluation(_Evaluation):
+    """The naive evaluator with Algorithm 9.1's storage/retrieval procedures."""
+
+    def __init__(self, engine: DataPoolEngine, static_context: StaticContext, stats: EvaluationStats):
+        super().__init__(engine, static_context, stats)
+        # The data pool: one dictionary per kind of key, all playing the role
+        # of the ⟨e, c, v⟩ triple store of Section 9.1.
+        self._expression_pool: dict[tuple[int, Node, int, int], XPathValue] = {}
+        self._path_pool: dict[tuple[int, Node], NodeSet] = {}
+        self._step_pool: dict[tuple[int, Node], frozenset[Node]] = {}
+
+    # ------------------------------------------------------------------
+    # atomic-evaluation-CVT for general expressions
+    # ------------------------------------------------------------------
+    def evaluate(self, expression: Expression, context: Context) -> XPathValue:
+        key = (id(expression), context.node, context.position, context.size)
+        pooled = self._expression_pool.get(key)
+        if pooled is not None:
+            self.stats.memo_hits += 1
+            return pooled
+        self.stats.memo_misses += 1
+        value = super().evaluate(expression, context)
+        self._expression_pool[key] = value
+        return value
+
+    # ------------------------------------------------------------------
+    # atomic-evaluation-CVT for location paths (keyed by context node only)
+    # ------------------------------------------------------------------
+    def _evaluate_node_set_expr(self, expression: Expression, context: Context) -> NodeSet:
+        if isinstance(expression, (LocationPath, FilterExpr, PathExpr, UnionExpr)):
+            key = (id(expression), context.node)
+            pooled = self._path_pool.get(key)
+            if pooled is not None:
+                self.stats.memo_hits += 1
+                return pooled
+            self.stats.memo_misses += 1
+            value = super()._evaluate_node_set_expr(expression, context)
+            self._path_pool[key] = value
+            return value
+        return super()._evaluate_node_set_expr(expression, context)
+
+    # ------------------------------------------------------------------
+    # Memoised recursion over location-step suffixes (P[[·]] of Section 9.2)
+    # ------------------------------------------------------------------
+    def _process_steps(self, steps: Sequence[Step], index: int, node: Node) -> set[Node]:
+        if index >= len(steps):
+            return {node}
+        key = (id(steps[index]), node)
+        pooled = self._step_pool.get(key)
+        if pooled is not None:
+            self.stats.memo_hits += 1
+            return set(pooled)
+        self.stats.memo_misses += 1
+        result = super()._process_steps(steps, index, node)
+        self._step_pool[key] = frozenset(result)
+        return result

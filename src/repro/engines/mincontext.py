@@ -1,0 +1,421 @@
+"""The MinContext algorithm (paper Section 8 and Appendix A).
+
+MinContext keeps the context-value-table principle but minimises the context
+information carried around, combining three ideas (Section 8.2):
+
+1. **Restriction to the relevant context** — tables are only materialised for
+   subexpressions that do not depend on the context position/size, and are
+   keyed by the context node alone (Relev(N) ⊆ {cn}).
+2. **Special treatment of outermost location paths** — the outermost path is
+   evaluated as a plain node-set propagation (subsets of dom), never as a
+   dom × 2^dom relation.
+3. **Position/size in a loop** — predicates that do depend on position or
+   size are evaluated in a loop over the (previous, current) context-node
+   pairs, recomputing only the position/size-dependent part per iteration.
+
+The three Appendix-A procedures are implemented by methods of the same name:
+``eval_outermost_locpath``, ``eval_by_cnode_only``, ``eval_single_context``
+(plus the auxiliary ``eval_inner_locpath``).  Theorem 8.6: time
+O(|D|⁴·|Q|²), space O(|D|²·|Q|²).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..axes.functions import axis_set, proximity_sorted, step_candidates
+from ..xmlmodel.nodes import Node
+from ..xpath.ast import (
+    BinaryOp,
+    ContextFunction,
+    Expression,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    Negate,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+    VariableReference,
+)
+from ..xpath.context import Context, StaticContext
+from ..xpath.functions import FunctionLibrary
+from ..xpath.values import NodeSet, XPathValue, predicate_truth
+from .base import EvaluationStats, XPathEngine
+from .common import evaluate_context_function
+from .relevance import CN, CP, CS, compute_relevance
+
+
+class MinContextEngine(XPathEngine):
+    """Algorithm 8.5 (MinContext)."""
+
+    name = "mincontext"
+
+    def _evaluate(
+        self,
+        expression: Expression,
+        static_context: StaticContext,
+        context: Context,
+        stats: EvaluationStats,
+    ) -> XPathValue:
+        evaluator = self._make_evaluator(static_context, stats)
+        return evaluator.run(expression, context)
+
+    def _make_evaluator(
+        self, static_context: StaticContext, stats: EvaluationStats
+    ) -> "MinContextEvaluator":
+        return MinContextEvaluator(static_context, stats)
+
+
+class MinContextEvaluator:
+    """One MinContext evaluation: parse-tree tables treated as shared state."""
+
+    def __init__(self, static_context: StaticContext, stats: EvaluationStats):
+        self.static_context = static_context
+        self.document = static_context.document
+        self.stats = stats
+        self.functions = FunctionLibrary(static_context)
+        #: table(N): projected context (node, or None when cn is irrelevant) → value.
+        self.tables: dict[Expression, dict[Optional[Node], XPathValue]] = {}
+        self.relevance: dict[Expression, frozenset[str]] = {}
+
+    # ------------------------------------------------------------------
+    # Algorithm 8.5
+    # ------------------------------------------------------------------
+    def run(self, expression: Expression, context: Context) -> XPathValue:
+        self.relevance = compute_relevance(expression)
+        if isinstance(expression, (LocationPath, UnionExpr, PathExpr, FilterExpr)):
+            nodes = self.eval_outermost_locpath(expression, {context.node})
+            return NodeSet(nodes)
+        self.eval_by_cnode_only(expression, {context.node})
+        return self.eval_single_context(
+            expression, context.node, context.position, context.size
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def relev(self, expression: Expression) -> frozenset[str]:
+        result = self.relevance.get(expression)
+        if result is None:
+            self.relevance.update(compute_relevance(expression))
+            result = self.relevance[expression]
+        return result
+
+    def _position_dependent(self, expression: Expression) -> bool:
+        return bool(self.relev(expression) & {CP, CS})
+
+    def _table_key(self, expression: Expression, node: Optional[Node]) -> Optional[Node]:
+        return node if CN in self.relev(expression) else None
+
+    def _table_value(self, expression: Expression, node: Optional[Node]) -> XPathValue:
+        return self.tables[expression][self._table_key(expression, node)]
+
+    def _store(self, expression: Expression, key: Optional[Node], value: XPathValue) -> None:
+        table = self.tables.setdefault(expression, {})
+        if key not in table:
+            self.stats.table_rows += 1
+        table[key] = value
+
+    # ------------------------------------------------------------------
+    # eval_outermost_locpath (Appendix A)
+    # ------------------------------------------------------------------
+    def eval_outermost_locpath(self, expression: Expression, sources: set[Node]) -> set[Node]:
+        """Outermost location paths: propagate plain node sets through steps."""
+        if isinstance(expression, LocationPath):
+            current = {self.document.root} if expression.absolute else set(sources)
+            for step in expression.steps:
+                current = self._outermost_step(step, current)
+            return current
+        if isinstance(expression, UnionExpr):
+            return self.eval_outermost_locpath(expression.left, sources) | self.eval_outermost_locpath(
+                expression.right, sources
+            )
+        if isinstance(expression, PathExpr):
+            start_nodes = self._node_set_value(expression.start, sources)
+            current = start_nodes
+            for step in expression.path.steps:
+                current = self._outermost_step(step, current)
+            return current
+        if isinstance(expression, FilterExpr):
+            base = self._node_set_value(expression.primary, sources)
+            return set(self._filter_with_positions(sorted(base, key=lambda n: n.order), expression.predicates))
+        raise TypeError(f"not an outermost location path: {expression!r}")  # pragma: no cover
+
+    def _node_set_value(self, expression: Expression, sources: set[Node]) -> set[Node]:
+        """The union over the sources of a node-set-valued subexpression."""
+        self.eval_by_cnode_only(expression, sources)
+        keys: set[Optional[Node]] = (
+            set(sources) if CN in self.relev(expression) else {None}
+        )
+        merged: set[Node] = set()
+        for key in keys:
+            value = self.tables[expression][key]
+            if not isinstance(value, NodeSet):
+                raise TypeError(f"{expression.to_xpath()} does not denote a node set")
+            merged.update(value.as_set())
+        return merged
+
+    def _outermost_step(self, step: Step, sources: set[Node]) -> set[Node]:
+        self.stats.location_step_applications += 1
+        candidates = {
+            node
+            for node in axis_set(self.document, sources, step.axis)
+            if step.node_test.matches(node, step.axis)
+        }
+        self.stats.axis_nodes_visited += len(candidates)
+        if not step.predicates:
+            return candidates
+        for predicate in step.predicates:
+            self.eval_by_cnode_only(predicate, candidates)
+        if not any(self._position_dependent(p) for p in step.predicates):
+            return {
+                node
+                for node in candidates
+                if all(
+                    predicate_truth(self.eval_single_context(p, node, 1, 1), 1)
+                    for p in step.predicates
+                )
+            }
+        # Position/size matter: loop over (previous, current) context-node pairs.
+        result: set[Node] = set()
+        for source in sorted(sources, key=lambda n: n.order):
+            survivors = proximity_sorted(
+                step_candidates(source, step.axis, step.node_test), step.axis
+            )
+            survivors = self._filter_with_positions(survivors, step.predicates)
+            result.update(survivors)
+        return result
+
+    def _filter_with_positions(
+        self, ordered: Sequence[Node], predicates: Sequence[Expression]
+    ) -> list[Node]:
+        survivors = list(ordered)
+        for predicate in predicates:
+            self.eval_by_cnode_only(predicate, set(survivors))
+            size = len(survivors)
+            retained: list[Node] = []
+            for position, node in enumerate(survivors, start=1):
+                value = self.eval_single_context(predicate, node, position, size)
+                if predicate_truth(value, position):
+                    retained.append(node)
+            survivors = retained
+        return survivors
+
+    # ------------------------------------------------------------------
+    # eval_by_cnode_only (Appendix A)
+    # ------------------------------------------------------------------
+    def eval_by_cnode_only(self, expression: Expression, sources: set[Node]) -> None:
+        """Populate table(M) for every position/size-independent descendant M."""
+        if self._position_dependent(expression):
+            for child in expression.children():
+                self.eval_by_cnode_only(child, sources)
+            return
+        needed: set[Optional[Node]] = (
+            set(sources) if CN in self.relev(expression) else {None}
+        )
+        table = self.tables.setdefault(expression, {})
+        missing = {key for key in needed if key not in table}
+        if not missing:
+            return
+        if isinstance(expression, (LocationPath, FilterExpr, PathExpr, UnionExpr)):
+            self._populate_inner_path(expression, missing)
+            return
+        self._populate_scalar(expression, missing, sources)
+
+    def _populate_inner_path(
+        self, expression: Expression, missing: set[Optional[Node]]
+    ) -> None:
+        if None in missing:
+            # Context-independent node set (absolute path or constant start):
+            # evaluate once, relative to the root as a representative origin.
+            relation = self.eval_inner_locpath(expression, {self.document.root})
+            value = NodeSet(relation.get(self.document.root, set()))
+            self._store(expression, None, value)
+            missing = missing - {None}
+        concrete = {key for key in missing if key is not None}
+        if concrete:
+            relation = self.eval_inner_locpath(expression, concrete)
+            for origin in concrete:
+                self._store(expression, origin, NodeSet(relation.get(origin, set())))
+
+    def _populate_scalar(
+        self,
+        expression: Expression,
+        missing: set[Optional[Node]],
+        sources: set[Node],
+    ) -> None:
+        if isinstance(expression, NumberLiteral):
+            for key in missing:
+                self._store(expression, key, expression.value)
+            return
+        if isinstance(expression, StringLiteral):
+            for key in missing:
+                self._store(expression, key, expression.value)
+            return
+        if isinstance(expression, VariableReference):
+            value = self.static_context.variable(expression.name)
+            for key in missing:
+                self._store(expression, key, value)
+            return
+        if isinstance(expression, ContextFunction):
+            for key in missing:
+                node = key if key is not None else self.document.root
+                self._store(
+                    expression, key, evaluate_context_function(expression.name, Context(node, 1, 1))
+                )
+            return
+        children = list(expression.children())
+        for child in children:
+            self.eval_by_cnode_only(child, sources)
+        for key in missing:
+            self.stats.expression_evaluations += 1
+            args = [self._table_value(child, key) for child in children]
+            self._store(expression, key, self._apply(expression, args))
+        return
+
+    def _apply(self, expression: Expression, args: list[XPathValue]) -> XPathValue:
+        if isinstance(expression, BinaryOp):
+            return self.functions.binary(expression.op, args[0], args[1])
+        if isinstance(expression, Negate):
+            return self.functions.negate(args[0])
+        if isinstance(expression, FunctionCall):
+            return self.functions.call(expression.name, args)
+        raise TypeError(f"cannot apply {expression!r}")  # pragma: no cover
+
+    # ------------------------------------------------------------------
+    # eval_single_context (Appendix A)
+    # ------------------------------------------------------------------
+    def eval_single_context(
+        self, expression: Expression, node: Node, position: int, size: int
+    ) -> XPathValue:
+        """Evaluate an expression for a single context ⟨x, p, s⟩."""
+        self.stats.expression_evaluations += 1
+        if not self._position_dependent(expression):
+            key = self._table_key(expression, node)
+            table = self.tables.get(expression)
+            if table is None or key not in table:
+                self.eval_by_cnode_only(expression, {node})
+                table = self.tables[expression]
+            return table[key]
+        if isinstance(expression, ContextFunction):
+            if expression.name == "position":
+                return float(position)
+            if expression.name == "last":
+                return float(size)
+            return evaluate_context_function(expression.name, Context(node, position, size))
+        children = list(expression.children())
+        args = [self.eval_single_context(child, node, position, size) for child in children]
+        return self._apply(expression, args)
+
+    # ------------------------------------------------------------------
+    # eval_inner_locpath (Appendix A)
+    # ------------------------------------------------------------------
+    def eval_inner_locpath(
+        self, expression: Expression, sources: set[Node]
+    ) -> dict[Node, set[Node]]:
+        """Location paths inside predicates: keep the origin → result relation."""
+        if isinstance(expression, LocationPath):
+            if expression.absolute:
+                relation = self._inner_steps({self.document.root}, expression.steps)
+                reachable = relation.get(self.document.root, set())
+                return {origin: set(reachable) for origin in sources}
+            return self._inner_steps(set(sources), expression.steps)
+        if isinstance(expression, UnionExpr):
+            left = self.eval_inner_locpath(expression.left, sources)
+            right = self.eval_inner_locpath(expression.right, sources)
+            return {
+                origin: left.get(origin, set()) | right.get(origin, set())
+                for origin in sources
+            }
+        if isinstance(expression, PathExpr):
+            start_relation = self._start_relation(expression.start, sources)
+            all_intermediate: set[Node] = set()
+            for nodes in start_relation.values():
+                all_intermediate.update(nodes)
+            step_relation = self._inner_steps(all_intermediate, expression.path.steps)
+            return {
+                origin: set().union(
+                    *(step_relation.get(mid, set()) for mid in start_relation.get(origin, set()))
+                )
+                if start_relation.get(origin)
+                else set()
+                for origin in sources
+            }
+        if isinstance(expression, FilterExpr):
+            base_relation = self._start_relation(expression.primary, sources)
+            result: dict[Node, set[Node]] = {}
+            for origin, nodes in base_relation.items():
+                ordered = sorted(nodes, key=lambda n: n.order)
+                result[origin] = set(self._filter_with_positions(ordered, expression.predicates))
+            return result
+        raise TypeError(f"not a location path: {expression!r}")  # pragma: no cover
+
+    def _start_relation(
+        self, expression: Expression, sources: set[Node]
+    ) -> dict[Node, set[Node]]:
+        """origin → node set for the start of a PathExpr / primary of a FilterExpr."""
+        if isinstance(expression, (LocationPath, FilterExpr, PathExpr, UnionExpr)):
+            return self.eval_inner_locpath(expression, sources)
+        self.eval_by_cnode_only(expression, sources)
+        result: dict[Node, set[Node]] = {}
+        for origin in sources:
+            value = self._table_value(expression, origin)
+            if not isinstance(value, NodeSet):
+                raise TypeError(f"{expression.to_xpath()} does not denote a node set")
+            result[origin] = set(value.as_set())
+        return result
+
+    def _inner_steps(self, sources: set[Node], steps: Sequence[Step]) -> dict[Node, set[Node]]:
+        relation: dict[Node, set[Node]] = {origin: {origin} for origin in sources}
+        for step in steps:
+            frontier: set[Node] = set()
+            for nodes in relation.values():
+                frontier.update(nodes)
+            step_map = self._inner_step(step, frontier)
+            relation = {
+                origin: set().union(*(step_map.get(node, set()) for node in nodes))
+                if nodes
+                else set()
+                for origin, nodes in relation.items()
+            }
+        return relation
+
+    def _inner_step(self, step: Step, sources: set[Node]) -> dict[Node, set[Node]]:
+        self.stats.location_step_applications += 1
+        candidates = {
+            node
+            for node in axis_set(self.document, sources, step.axis)
+            if step.node_test.matches(node, step.axis)
+        }
+        self.stats.axis_nodes_visited += len(candidates)
+        for predicate in step.predicates:
+            self.eval_by_cnode_only(predicate, candidates)
+        if step.predicates and not any(self._position_dependent(p) for p in step.predicates):
+            surviving = {
+                node
+                for node in candidates
+                if all(
+                    predicate_truth(self.eval_single_context(p, node, 1, 1), 1)
+                    for p in step.predicates
+                )
+            }
+            return {
+                source: {
+                    node
+                    for node in step_candidates(source, step.axis, step.node_test)
+                    if node in surviving
+                }
+                for source in sources
+            }
+        result: dict[Node, set[Node]] = {}
+        for source in sources:
+            survivors = proximity_sorted(
+                step_candidates(source, step.axis, step.node_test), step.axis
+            )
+            if step.predicates:
+                survivors = self._filter_with_positions(survivors, step.predicates)
+            result[source] = set(survivors)
+        return result

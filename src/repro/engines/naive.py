@@ -1,0 +1,165 @@
+"""The naive, exponential-time engine (paper Sections 2 and 5).
+
+This engine follows the W3C semantics (Definition 5.1 / Figure 5) *literally*
+as a recursive functional program — the strategy the paper attributes to
+XALAN, XT, Saxon and IE6 and shows to be exponential in the query size::
+
+    procedure process-location-step(n0, Q)
+        node set S := apply Q.head to node n0;
+        if Q.tail is not empty then
+            for each node n in S do process-location-step(n, Q.tail);
+
+Composition of location paths recurses into every node of every intermediate
+result without memoisation, so antagonist-axis queries such as
+``//a/b/parent::a/b/parent::a/b…`` (Experiment 1) take time Θ(|D|^|Q|).
+
+The engine is correct (it is differentially tested against the polynomial
+engines); it exists as the baseline for Experiments 1–5 and Figure 12.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..xmlmodel.nodes import Node
+from ..xpath.ast import (
+    BinaryOp,
+    ContextFunction,
+    Expression,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    Negate,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+    VariableReference,
+)
+from ..xpath.context import Context, StaticContext
+from ..xpath.functions import FunctionLibrary
+from ..xpath.values import NodeSet, XPathValue, predicate_truth
+from .base import EvaluationStats, XPathEngine
+from .common import apply_step_to_node, evaluate_context_function
+
+
+class NaiveEngine(XPathEngine):
+    """Recursive functional implementation of the W3C semantics (exponential)."""
+
+    name = "naive"
+
+    # ------------------------------------------------------------------
+    # Engine protocol
+    # ------------------------------------------------------------------
+    def _evaluate(
+        self,
+        expression: Expression,
+        static_context: StaticContext,
+        context: Context,
+        stats: EvaluationStats,
+    ) -> XPathValue:
+        state = _Evaluation(self, static_context, stats)
+        return state.evaluate(expression, context)
+
+
+class _Evaluation:
+    """One query evaluation: holds the function library and counters."""
+
+    def __init__(self, engine: NaiveEngine, static_context: StaticContext, stats: EvaluationStats):
+        self.engine = engine
+        self.static_context = static_context
+        self.stats = stats
+        self.functions = FunctionLibrary(static_context)
+        self.document = static_context.document
+
+    # ------------------------------------------------------------------
+    # [[e]](c) — expression evaluation
+    # ------------------------------------------------------------------
+    def evaluate(self, expression: Expression, context: Context) -> XPathValue:
+        self.stats.expression_evaluations += 1
+        if isinstance(expression, NumberLiteral):
+            return expression.value
+        if isinstance(expression, StringLiteral):
+            return expression.value
+        if isinstance(expression, VariableReference):
+            return self.static_context.variable(expression.name)
+        if isinstance(expression, ContextFunction):
+            return evaluate_context_function(expression.name, context)
+        if isinstance(expression, Negate):
+            return self.functions.negate(self.evaluate(expression.operand, context))
+        if isinstance(expression, BinaryOp):
+            left = self.evaluate(expression.left, context)
+            right = self.evaluate(expression.right, context)
+            return self.functions.binary(expression.op, left, right)
+        if isinstance(expression, FunctionCall):
+            args = [self.evaluate(arg, context) for arg in expression.args]
+            return self.functions.call(expression.name, args)
+        if isinstance(expression, UnionExpr):
+            left = self._node_set(expression.left, context)
+            right = self._node_set(expression.right, context)
+            return left | right
+        if isinstance(expression, (LocationPath, FilterExpr, PathExpr)):
+            return self._node_set(expression, context)
+        raise TypeError(f"cannot evaluate {expression!r}")  # pragma: no cover
+
+    def _node_set(self, expression: Expression, context: Context) -> NodeSet:
+        value = self._evaluate_node_set_expr(expression, context)
+        return value
+
+    # ------------------------------------------------------------------
+    # P[[π]](x) — location paths (Figure 5)
+    # ------------------------------------------------------------------
+    def _evaluate_node_set_expr(self, expression: Expression, context: Context) -> NodeSet:
+        if isinstance(expression, LocationPath):
+            start = self.document.root if expression.absolute else context.node
+            return NodeSet(self._process_steps(expression.steps, 0, start))
+        if isinstance(expression, FilterExpr):
+            primary = self.evaluate(expression.primary, context)
+            if not isinstance(primary, NodeSet):
+                raise TypeError("predicates may only be applied to node sets")
+            return NodeSet(self._filter_nodes(primary, expression.predicates))
+        if isinstance(expression, PathExpr):
+            start_value = self.evaluate(expression.start, context)
+            if not isinstance(start_value, NodeSet):
+                raise TypeError("a path may only be applied to a node set")
+            result: set[Node] = set()
+            # Naive recursion over every start node, exactly as in the
+            # process-location-step pseudocode.
+            for node in start_value:
+                result.update(self._process_steps(expression.path.steps, 0, node))
+            return NodeSet(result)
+        if isinstance(expression, UnionExpr):
+            left = self._evaluate_node_set_expr(expression.left, context)
+            right = self._evaluate_node_set_expr(expression.right, context)
+            return left | right
+        value = self.evaluate(expression, context)
+        if isinstance(value, NodeSet):
+            return value
+        raise TypeError(f"expected a node set from {expression!r}")
+
+    def _process_steps(self, steps: Sequence[Step], index: int, node: Node) -> set[Node]:
+        """process-location-step: recurse into each intermediate node."""
+        if index >= len(steps):
+            return {node}
+        head = steps[index]
+        produced = apply_step_to_node(node, head, self.evaluate, self.stats)
+        if index + 1 >= len(steps):
+            return set(produced)
+        result: set[Node] = set()
+        for next_node in produced:
+            result.update(self._process_steps(steps, index + 1, next_node))
+        return result
+
+    def _filter_nodes(self, nodes: NodeSet, predicates: Sequence[Expression]) -> set[Node]:
+        """Predicates of a filter expression use document order positions."""
+        survivors = list(nodes.in_document_order())
+        for predicate in predicates:
+            size = len(survivors)
+            retained: list[Node] = []
+            for position, node in enumerate(survivors, start=1):
+                value = self.evaluate(predicate, Context(node, position, size))
+                if predicate_truth(value, position):
+                    retained.append(node)
+            survivors = retained
+        return set(survivors)

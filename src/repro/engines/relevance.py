@@ -1,0 +1,168 @@
+"""Relevant-context analysis Relev(N) (paper Section 8.2).
+
+For every node N of the query parse tree, ``Relev(N) ⊆ {'cn', 'cp', 'cs'}``
+records which components of the context ⟨x, k, n⟩ the value of the
+subexpression actually depends on.  The analysis is a single bottom-up pass
+over the parse tree and costs O(|Q|).
+
+Base cases (paper, Section 8.2):
+
+* constants, ``true()``, ``false()`` and variable references → ∅;
+* ``position()`` → {cp}; ``last()`` → {cs};
+* location steps and parameterless core-library functions that refer to the
+  context node (``string()``, ``number()``, ``name()``, …) → {cn}.
+
+Compound expressions: a node that *is* a location step (or path) within a
+location path depends only on the context node, so it gets {cn} (or ∅ for an
+absolute path, a refinement the paper applies implicitly in Example 8.1 by
+dropping the irrelevant columns); every other operator takes the union of
+its children's sets.
+
+The same module provides the key-projection helpers the CVT engines use to
+store tables keyed only by the relevant components.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator
+
+from ..xmlmodel.document import Document
+from ..xmlmodel.nodes import Node
+from ..xpath.ast import (
+    BinaryOp,
+    ContextFunction,
+    Expression,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    Negate,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+    VariableReference,
+)
+from ..xpath.context import Context
+
+#: The three context components.
+CN = "cn"
+CP = "cp"
+CS = "cs"
+
+Relevance = frozenset
+EMPTY: frozenset[str] = frozenset()
+ONLY_CN: frozenset[str] = frozenset({CN})
+ONLY_CP: frozenset[str] = frozenset({CP})
+ONLY_CS: frozenset[str] = frozenset({CS})
+
+
+def compute_relevance(expression: Expression) -> dict[Expression, frozenset[str]]:
+    """Compute Relev(N) for every node of the parse tree rooted at ``expression``."""
+    table: dict[Expression, frozenset[str]] = {}
+    _relevance(expression, table)
+    return table
+
+
+def _relevance(expression: Expression, table: dict[Expression, frozenset[str]]) -> frozenset[str]:
+    # Children are always analysed, even when the node's own relevance is
+    # fixed structurally (e.g. predicates below a location step), because the
+    # engines need Relev for every parse-tree node.
+    child_sets = [_relevance(child, table) for child in expression.children()]
+
+    if isinstance(expression, (NumberLiteral, StringLiteral, VariableReference)):
+        result = EMPTY
+    elif isinstance(expression, ContextFunction):
+        if expression.name == "position":
+            result = ONLY_CP
+        elif expression.name == "last":
+            result = ONLY_CS
+        else:
+            result = ONLY_CN
+    elif isinstance(expression, FunctionCall):
+        if expression.name in ("true", "false"):
+            result = EMPTY
+        else:
+            result = frozenset().union(*child_sets) if child_sets else EMPTY
+    elif isinstance(expression, (BinaryOp, Negate)):
+        result = frozenset().union(*child_sets) if child_sets else EMPTY
+    elif isinstance(expression, Step):
+        result = ONLY_CN
+    elif isinstance(expression, LocationPath):
+        result = EMPTY if expression.absolute else ONLY_CN
+    elif isinstance(expression, FilterExpr):
+        result = table[expression.primary]
+    elif isinstance(expression, PathExpr):
+        result = table[expression.start]
+    elif isinstance(expression, UnionExpr):
+        result = table[expression.left] | table[expression.right]
+    else:  # pragma: no cover - defensive
+        result = ONLY_CN
+    table[expression] = result
+    return result
+
+
+# ----------------------------------------------------------------------
+# Context-key projection for relevance-restricted tables
+# ----------------------------------------------------------------------
+ContextKey = tuple  # (node-or-None, position-or-None, size-or-None)
+
+
+def project_context(context: Context, relevance: frozenset[str]) -> ContextKey:
+    """Project a full context to the components in ``relevance``."""
+    return (
+        context.node if CN in relevance else None,
+        context.position if CP in relevance else None,
+        context.size if CS in relevance else None,
+    )
+
+
+def project_triple(node: Node, position: int, size: int, relevance: frozenset[str]) -> ContextKey:
+    """Like :func:`project_context`, for a raw ⟨x, k, n⟩ triple."""
+    return (
+        node if CN in relevance else None,
+        position if CP in relevance else None,
+        size if CS in relevance else None,
+    )
+
+
+def enumerate_keys(
+    document: Document,
+    relevance: frozenset[str],
+    nodes: Iterable[Node] | None = None,
+) -> Iterator[ContextKey]:
+    """Enumerate all context keys over the relevant components.
+
+    ``nodes`` restricts the context-node column (defaults to the whole dom);
+    positions and sizes range over 1..|dom| as in the paper's domain C.  The
+    full Cartesian product is only enumerated for the components that are
+    actually relevant, which is what keeps the bottom-up engine's tables at
+    the sizes discussed in Section 8.
+    """
+    dom_size = len(document)
+    node_choices: list[Node | None] = list(nodes) if nodes is not None else document.dom
+    if CN not in relevance:
+        node_choices = [None]
+    position_choices: list[int | None] = (
+        list(range(1, dom_size + 1)) if CP in relevance else [None]
+    )
+    size_choices: list[int | None] = list(range(1, dom_size + 1)) if CS in relevance else [None]
+    for node in node_choices:
+        for size in size_choices:
+            for position in position_choices:
+                if position is not None and size is not None and position > size:
+                    continue
+                yield (node, position, size)
+
+
+def key_to_context(key: ContextKey, default_node: Node) -> Context:
+    """Reconstruct a representative full context from a projected key."""
+    node, position, size = key
+    actual_position = position if position is not None else 1
+    actual_size = size if size is not None else max(actual_position, 1)
+    return Context(node if node is not None else default_node, actual_position, actual_size)
+
+
+def depends_on_position_or_size(relevance: frozenset[str]) -> bool:
+    """True when the expression needs the context position or size."""
+    return bool(relevance & {CP, CS})

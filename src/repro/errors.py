@@ -1,0 +1,80 @@
+"""Exception hierarchy for the repro XPath library.
+
+Every error raised by the library derives from :class:`ReproError`, so a
+caller can catch a single exception type at an API boundary.  The hierarchy
+mirrors the pipeline: XML parsing, XPath parsing/compilation, static typing,
+and runtime evaluation.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class of all exceptions raised by this library."""
+
+
+class XMLSyntaxError(ReproError):
+    """The XML input text is not well formed.
+
+    Attributes
+    ----------
+    line, column:
+        1-based position of the offending character in the input, when known.
+    """
+
+    def __init__(self, message: str, line: int | None = None, column: int | None = None):
+        self.line = line
+        self.column = column
+        if line is not None:
+            message = f"{message} (line {line}, column {column})"
+        super().__init__(message)
+
+
+class XPathSyntaxError(ReproError):
+    """The XPath query text cannot be tokenised or parsed.
+
+    Attributes
+    ----------
+    position:
+        0-based character offset at which parsing failed, when known.
+    """
+
+    def __init__(self, message: str, position: int | None = None):
+        self.position = position
+        if position is not None:
+            message = f"{message} (at offset {position})"
+        super().__init__(message)
+
+
+class XPathTypeError(ReproError):
+    """A static or dynamic type rule of XPath 1.0 was violated.
+
+    Raised, for instance, when a location path is applied to a non-node-set
+    operand, or when a core library function is called with the wrong number
+    of arguments.
+    """
+
+
+class XPathEvaluationError(ReproError):
+    """A runtime error occurred while evaluating a query.
+
+    Examples: a variable reference without a binding, or an engine being
+    asked to evaluate a query outside the fragment it supports.
+    """
+
+
+class FragmentError(XPathEvaluationError):
+    """A query falls outside the fragment supported by the chosen engine.
+
+    Raised by the Core XPath and XPatterns engines, and by the strict mode of
+    the Extended Wadler evaluator, when the input query uses features that
+    the fragment excludes.
+    """
+
+
+class VariableBindingError(XPathEvaluationError):
+    """A query references a variable for which no binding was supplied."""
+
+    def __init__(self, name: str):
+        self.name = name
+        super().__init__(f"no binding supplied for variable ${name}")

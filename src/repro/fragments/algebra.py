@@ -1,0 +1,307 @@
+"""The set algebra underlying Core XPath evaluation (paper Section 10.1).
+
+Core XPath queries are rewritten into expressions over the operations
+
+    χ (axis application), χ⁻¹ (inverse axis), ∩, ∪, ‘−’, and dom/root(S),
+
+as in Definition 10.2 and Example 10.3's "query tree".  This module defines a
+tiny algebra IR plus an evaluator; the compiler from Core XPath ASTs into the
+IR lives in :mod:`repro.fragments.core_xpath`.  Every operation evaluates in
+O(|dom|), so an algebra expression of size O(|Q|) evaluates in O(|D|·|Q|)
+(Theorem 10.5).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Union
+
+from ..axes.functions import axis_set, inverse_axis_set
+from ..axes.nodetests import NodeTest
+from ..axes.regex import Axis
+from ..xmlmodel.document import Document
+from ..xmlmodel.nodes import Node
+
+
+# ----------------------------------------------------------------------
+# IR node classes
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ContextSet:
+    """The input context node set N0 (leaf of forward plans)."""
+
+    def render(self) -> str:
+        return "N0"
+
+
+@dataclass(frozen=True)
+class RootSet:
+    """The singleton {root}."""
+
+    def render(self) -> str:
+        return "{root}"
+
+
+@dataclass(frozen=True)
+class DomSet:
+    """The full node set dom."""
+
+    def render(self) -> str:
+        return "dom"
+
+
+@dataclass(frozen=True)
+class TestSet:
+    """T(t): all nodes satisfying a node test (under a given axis' typing)."""
+
+    test: NodeTest
+    axis: Axis = Axis.CHILD
+
+    def render(self) -> str:
+        return f"T({self.test.to_xpath()})"
+
+
+@dataclass(frozen=True)
+class StringMatchSet:
+    """The unary predicate "= s": nodes whose string value equals ``value``.
+
+    Used by the XPatterns extension (Table VI); computable by a linear scan
+    of the document before query evaluation.
+    """
+
+    value: str
+    negated: bool = False
+
+    def render(self) -> str:
+        op = "!=" if self.negated else "="
+        return f"{{x | strval(x) {op} {self.value!r}}}"
+
+
+@dataclass(frozen=True)
+class AxisApply:
+    """χ(operand)."""
+
+    axis: Axis
+    operand: "AlgebraExpr"
+
+    def render(self) -> str:
+        return f"{self.axis.value}({self.operand.render()})"
+
+
+@dataclass(frozen=True)
+class InverseAxisApply:
+    """χ⁻¹(operand)."""
+
+    axis: Axis
+    operand: "AlgebraExpr"
+
+    def render(self) -> str:
+        return f"{self.axis.value}⁻¹({self.operand.render()})"
+
+
+@dataclass(frozen=True)
+class IdApply:
+    """The id "axis" of Section 10.2 (or its inverse)."""
+
+    operand: "AlgebraExpr"
+    inverse: bool = False
+
+    def render(self) -> str:
+        name = "id⁻¹" if self.inverse else "id"
+        return f"{name}({self.operand.render()})"
+
+
+@dataclass(frozen=True)
+class Intersect:
+    left: "AlgebraExpr"
+    right: "AlgebraExpr"
+
+    def render(self) -> str:
+        return f"({self.left.render()} ∩ {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class UnionOp:
+    left: "AlgebraExpr"
+    right: "AlgebraExpr"
+
+    def render(self) -> str:
+        return f"({self.left.render()} ∪ {self.right.render()})"
+
+
+@dataclass(frozen=True)
+class Complement:
+    """dom − operand (used for not(...))."""
+
+    operand: "AlgebraExpr"
+
+    def render(self) -> str:
+        return f"(dom − {self.operand.render()})"
+
+
+@dataclass(frozen=True)
+class DomIfRoot:
+    """dom/root(S): dom if root ∈ S, else ∅ (absolute paths in S←)."""
+
+    operand: "AlgebraExpr"
+
+    def render(self) -> str:
+        return f"dom/root({self.operand.render()})"
+
+
+AlgebraExpr = Union[
+    ContextSet,
+    RootSet,
+    DomSet,
+    TestSet,
+    StringMatchSet,
+    AxisApply,
+    InverseAxisApply,
+    IdApply,
+    Intersect,
+    UnionOp,
+    Complement,
+    DomIfRoot,
+]
+
+
+def algebra_size(expression: AlgebraExpr) -> int:
+    """Number of operations in an algebra expression (plan size)."""
+    children: list[AlgebraExpr] = []
+    if isinstance(expression, (AxisApply, InverseAxisApply, IdApply, Complement, DomIfRoot)):
+        children = [expression.operand]
+    elif isinstance(expression, (Intersect, UnionOp)):
+        children = [expression.left, expression.right]
+    return 1 + sum(algebra_size(child) for child in children)
+
+
+class AlgebraEvaluator:
+    """Evaluate algebra expressions over one document.
+
+    ``operations_performed`` counts O(|dom|) set operations — the quantity
+    bounded by O(|Q|) in Theorem 10.5.
+    """
+
+    def __init__(self, document: Document):
+        self.document = document
+        self.operations_performed = 0
+        self._string_match_cache: dict[tuple[str, bool], frozenset[Node]] = {}
+
+    def evaluate(self, expression: AlgebraExpr, context_set: frozenset[Node]) -> set[Node]:
+        self.operations_performed += 1
+        if isinstance(expression, ContextSet):
+            return set(context_set)
+        if isinstance(expression, RootSet):
+            return {self.document.root}
+        if isinstance(expression, DomSet):
+            return self.document.dom_set
+        if isinstance(expression, TestSet):
+            return expression.test.select(self.document, expression.axis)
+        if isinstance(expression, StringMatchSet):
+            return set(self._string_match(expression.value, expression.negated))
+        if isinstance(expression, AxisApply):
+            return axis_set(self.document, self.evaluate(expression.operand, context_set), expression.axis)
+        if isinstance(expression, InverseAxisApply):
+            return inverse_axis_set(
+                self.document, self.evaluate(expression.operand, context_set), expression.axis
+            )
+        if isinstance(expression, IdApply):
+            from ..xmlmodel.ids import ref_relation_for
+
+            relation = ref_relation_for(self.document)
+            operand = self.evaluate(expression.operand, context_set)
+            if expression.inverse:
+                return relation.id_axis_inverse(operand)
+            return relation.id_axis(operand)
+        if isinstance(expression, Intersect):
+            return self.evaluate(expression.left, context_set) & self.evaluate(
+                expression.right, context_set
+            )
+        if isinstance(expression, UnionOp):
+            return self.evaluate(expression.left, context_set) | self.evaluate(
+                expression.right, context_set
+            )
+        if isinstance(expression, Complement):
+            return self.document.dom_set - self.evaluate(expression.operand, context_set)
+        if isinstance(expression, DomIfRoot):
+            inner = self.evaluate(expression.operand, context_set)
+            return self.document.dom_set if self.document.root in inner else set()
+        raise TypeError(f"unknown algebra expression {expression!r}")  # pragma: no cover
+
+    def _string_match(self, value: str, negated: bool) -> frozenset[Node]:
+        key = (value, negated)
+        cached = self._string_match_cache.get(key)
+        if cached is None:
+            if negated:
+                cached = frozenset(
+                    node for node in self.document.dom if node.string_value() != value
+                )
+            else:
+                cached = frozenset(
+                    node for node in self.document.dom if node.string_value() == value
+                )
+            self._string_match_cache[key] = cached
+        return cached
+
+
+# ----------------------------------------------------------------------
+# Document-level unary predicates of XSLT Patterns '98 (Table VI)
+# ----------------------------------------------------------------------
+def first_of_any(document: Document) -> set[Node]:
+    """Nodes that are the first (regular) child of their parent."""
+    result: set[Node] = set()
+    for node in document.dom:
+        if node.is_special_child or node.parent is None:
+            continue
+        siblings = node.parent.children
+        if siblings and siblings[0] is node:
+            result.add(node)
+    return result
+
+
+def last_of_any(document: Document) -> set[Node]:
+    """Nodes that are the last (regular) child of their parent."""
+    result: set[Node] = set()
+    for node in document.dom:
+        if node.is_special_child or node.parent is None:
+            continue
+        siblings = node.parent.children
+        if siblings and siblings[-1] is node:
+            result.add(node)
+    return result
+
+
+def first_of_type(document: Document, names: Optional[set[str]] = None) -> set[Node]:
+    """first-of-type(): elements with no earlier sibling of the same name."""
+    result: set[Node] = set()
+    for node in document.dom:
+        if not node.is_element or (names is not None and node.name not in names):
+            continue
+        earlier_same = False
+        sibling = node.prev_sibling
+        while sibling is not None:
+            if sibling.is_element and sibling.name == node.name:
+                earlier_same = True
+                break
+            sibling = sibling.prev_sibling
+        if not earlier_same:
+            result.add(node)
+    return result
+
+
+def last_of_type(document: Document, names: Optional[set[str]] = None) -> set[Node]:
+    """last-of-type(): elements with no later sibling of the same name."""
+    result: set[Node] = set()
+    for node in document.dom:
+        if not node.is_element or (names is not None and node.name not in names):
+            continue
+        later_same = False
+        sibling = node.next_sibling
+        while sibling is not None:
+            if sibling.is_element and sibling.name == node.name:
+                later_same = True
+                break
+            sibling = sibling.next_sibling
+        if not later_same:
+            result.add(node)
+    return result

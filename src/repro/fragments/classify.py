@@ -1,0 +1,95 @@
+"""Fragment classification (the lattice of Figure 1).
+
+Given a query, determine the smallest fragment of Figure 1 that contains it:
+
+    Core XPath  ⊂  XPatterns            (linear time O(|D|·|Q|))
+    Core XPath  ⊂  Extended Wadler      (O(|D|) space, O(|D|²) time)
+    everything  ⊂  Full XPath           (polynomial combined complexity)
+
+and recommend the engine with the best known bounds (OptMinContext adheres to
+the per-fragment bounds by construction; the dedicated Core XPath / XPatterns
+engines are exposed for the linear-time algebra).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+
+from ..xpath.ast import Expression
+from ..xpath.normalize import compile_query
+from .core_xpath import CoreXPathEngine, is_core_xpath
+from .wadler import is_extended_wadler, wadler_violations
+from .xpatterns import XPatternsEngine, is_xpatterns
+
+
+class Fragment(enum.Enum):
+    """The XPath fragments of Figure 1."""
+
+    CORE_XPATH = "Core XPath"
+    XPATTERNS = "XPatterns"
+    EXTENDED_WADLER = "Extended Wadler Fragment"
+    FULL_XPATH = "Full XPath"
+
+
+#: Data-complexity bound associated with each fragment (Figure 1).
+COMPLEXITY_BOUNDS: dict[Fragment, str] = {
+    Fragment.CORE_XPATH: "time O(|D|·|Q|)",
+    Fragment.XPATTERNS: "time O(|D|·|Q|)",
+    Fragment.EXTENDED_WADLER: "time O(|D|²·|Q|²), space O(|D|·|Q|²)",
+    Fragment.FULL_XPATH: "time O(|D|⁴·|Q|²), space O(|D|²·|Q|²)",
+}
+
+
+@dataclass(frozen=True)
+class Classification:
+    """The outcome of classifying one query."""
+
+    fragment: Fragment
+    in_core_xpath: bool
+    in_xpatterns: bool
+    in_extended_wadler: bool
+    complexity: str
+    recommended_engine: str
+    wadler_violations: tuple[str, ...]
+
+
+def classify(query) -> Classification:
+    """Classify a query (string or AST) into the Figure-1 lattice."""
+    expression: Expression = compile_query(query)
+    core = is_core_xpath(expression)
+    xpatterns = is_xpatterns(expression)
+    wadler = is_extended_wadler(expression)
+    if core:
+        fragment = Fragment.CORE_XPATH
+        engine = CoreXPathEngine.name
+    elif xpatterns:
+        fragment = Fragment.XPATTERNS
+        engine = XPatternsEngine.name
+    elif wadler:
+        fragment = Fragment.EXTENDED_WADLER
+        engine = "optmincontext"
+    else:
+        fragment = Fragment.FULL_XPATH
+        engine = "optmincontext"
+    return Classification(
+        fragment=fragment,
+        in_core_xpath=core,
+        in_xpatterns=xpatterns,
+        in_extended_wadler=wadler,
+        complexity=COMPLEXITY_BOUNDS[fragment],
+        recommended_engine=engine,
+        wadler_violations=tuple(wadler_violations(expression)),
+    )
+
+
+def containment_holds(query) -> bool:
+    """Check the Figure-1 containments for one query.
+
+    Core XPath queries must also be XPatterns queries and Extended Wadler
+    queries; used by the Figure-1 reproduction test and bench.
+    """
+    result = classify(query)
+    if result.in_core_xpath:
+        return result.in_xpatterns and result.in_extended_wadler
+    return True

@@ -1,0 +1,223 @@
+"""Core XPath: grammar check, algebra compilation and linear-time evaluation.
+
+Section 10.1 defines Core XPath as the fragment of XPath that manipulates
+node sets only: full location paths with all axes, predicates that are
+boolean combinations (``and``, ``or``, ``not``) of (existentially
+interpreted) location paths, and nothing else — no arithmetic, no strings,
+no positions.
+
+Evaluation maps a query onto the set algebra of
+:mod:`repro.fragments.algebra` using the three semantics functions of
+Definition 10.2:
+
+* ``S→`` — the outermost path, evaluated forwards from the context set;
+* ``S←`` — paths inside predicates, evaluated *backwards* with the inverse
+  axes (Lemma 10.1), yielding the set of nodes where the path "matches";
+* ``E1`` — boolean predicate expressions as set operations.
+
+Theorem 10.5: the resulting plan has O(|Q|) operations, each O(|D|), so Core
+XPath evaluates in time O(|D|·|Q|).
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ..axes.nodetests import KindTest, NameTest
+from ..axes.regex import Axis, inverse_axis
+from ..errors import FragmentError
+from ..xpath.ast import (
+    BinaryOp,
+    Expression,
+    FunctionCall,
+    LocationPath,
+    Step,
+    UnionExpr,
+)
+from ..xpath.context import Context, StaticContext
+from ..xpath.values import NodeSet, XPathValue
+from ..engines.base import EvaluationStats, XPathEngine
+from .algebra import (
+    AlgebraEvaluator,
+    AlgebraExpr,
+    AxisApply,
+    Complement,
+    ContextSet,
+    DomIfRoot,
+    DomSet,
+    Intersect,
+    InverseAxisApply,
+    RootSet,
+    TestSet,
+    UnionOp,
+    algebra_size,
+)
+
+#: Axes available in Core XPath (all of them except the attribute/namespace
+#: axes, which select non-element nodes — the paper's Core XPath grammar is
+#: stated over the navigational axes; the XPatterns extension adds attribute
+#: tests back as unary predicates).
+CORE_AXES = frozenset(
+    {
+        Axis.SELF,
+        Axis.CHILD,
+        Axis.PARENT,
+        Axis.DESCENDANT,
+        Axis.ANCESTOR,
+        Axis.DESCENDANT_OR_SELF,
+        Axis.ANCESTOR_OR_SELF,
+        Axis.FOLLOWING,
+        Axis.PRECEDING,
+        Axis.FOLLOWING_SIBLING,
+        Axis.PRECEDING_SIBLING,
+    }
+)
+
+
+# ----------------------------------------------------------------------
+# Membership test
+# ----------------------------------------------------------------------
+def is_core_xpath(expression: Expression) -> bool:
+    """Does the (normalised) query belong to Core XPath?"""
+    return _is_core_path(expression)
+
+
+def _is_core_path(expression: Expression) -> bool:
+    if not isinstance(expression, LocationPath):
+        return False
+    return all(_is_core_step(step) for step in expression.steps)
+
+
+def _is_core_step(step: Step) -> bool:
+    if step.axis not in CORE_AXES:
+        return False
+    if not isinstance(step.node_test, (NameTest, KindTest)):
+        return False
+    return all(_is_core_predicate(predicate) for predicate in step.predicates)
+
+
+def _is_core_predicate(expression: Expression) -> bool:
+    if isinstance(expression, BinaryOp) and expression.op in ("and", "or"):
+        return _is_core_predicate(expression.left) and _is_core_predicate(expression.right)
+    if isinstance(expression, FunctionCall) and expression.name == "not" and len(expression.args) == 1:
+        return _is_core_predicate(expression.args[0])
+    if isinstance(expression, FunctionCall) and expression.name == "boolean" and len(expression.args) == 1:
+        # boolean(π) is the explicit-conversion spelling of a bare path.
+        return _is_core_path(expression.args[0])
+    return _is_core_path(expression)
+
+
+# ----------------------------------------------------------------------
+# Compilation (Definition 10.2)
+# ----------------------------------------------------------------------
+class CoreXPathCompiler:
+    """Compile Core XPath queries into algebra plans.
+
+    Subclasses (the XPatterns compiler) extend the predicate and path hooks.
+    """
+
+    def compile_query(self, expression: Expression) -> AlgebraExpr:
+        """S→ plan of the whole query relative to the context set N0."""
+        if not isinstance(expression, LocationPath):
+            raise FragmentError(f"not a Core XPath query: {expression.to_xpath()}")
+        plan: AlgebraExpr = RootSet() if expression.absolute else ContextSet()
+        for step in expression.steps:
+            plan = self._forward_step(plan, step)
+        return plan
+
+    # -- S→ ------------------------------------------------------------
+    def _forward_step(self, plan: AlgebraExpr, step: Step) -> AlgebraExpr:
+        result: AlgebraExpr = Intersect(
+            AxisApply(step.axis, plan), TestSet(step.node_test, step.axis)
+        )
+        for predicate in step.predicates:
+            result = Intersect(result, self.compile_predicate(predicate))
+        return result
+
+    # -- E1 ------------------------------------------------------------
+    def compile_predicate(self, expression: Expression) -> AlgebraExpr:
+        if isinstance(expression, BinaryOp) and expression.op == "and":
+            return Intersect(
+                self.compile_predicate(expression.left), self.compile_predicate(expression.right)
+            )
+        if isinstance(expression, BinaryOp) and expression.op == "or":
+            return UnionOp(
+                self.compile_predicate(expression.left), self.compile_predicate(expression.right)
+            )
+        if isinstance(expression, FunctionCall) and expression.name == "not":
+            return Complement(self.compile_predicate(expression.args[0]))
+        if isinstance(expression, FunctionCall) and expression.name == "boolean":
+            return self.compile_predicate(expression.args[0])
+        return self.compile_backward_path(expression)
+
+    # -- S← ------------------------------------------------------------
+    def compile_backward_path(self, expression: Expression) -> AlgebraExpr:
+        if not isinstance(expression, LocationPath):
+            raise FragmentError(
+                f"predicate is not a Core XPath path: {expression.to_xpath()}"
+            )
+        plan = self._backward_steps(expression.steps)
+        if expression.absolute:
+            return DomIfRoot(plan)
+        return plan
+
+    def _backward_steps(self, steps: Sequence[Step]) -> AlgebraExpr:
+        plan: AlgebraExpr | None = None
+        for step in reversed(steps):
+            matched: AlgebraExpr = TestSet(step.node_test, step.axis)
+            for predicate in step.predicates:
+                matched = Intersect(matched, self.compile_predicate(predicate))
+            if plan is not None:
+                matched = Intersect(plan, matched)
+            plan = InverseAxisApply(step.axis, matched)
+        if plan is None:
+            # An empty relative path ("/" alone is handled by the caller):
+            # every node trivially matches.
+            return DomSet()
+        return plan
+
+
+# ----------------------------------------------------------------------
+# Engine
+# ----------------------------------------------------------------------
+class CoreXPathEngine(XPathEngine):
+    """Linear-time evaluation of Core XPath queries via the set algebra."""
+
+    name = "corexpath"
+
+    #: Compiler class; the XPatterns engine overrides this.
+    compiler_class = CoreXPathCompiler
+
+    def _evaluate(
+        self,
+        expression: Expression,
+        static_context: StaticContext,
+        context: Context,
+        stats: EvaluationStats,
+    ) -> XPathValue:
+        compiler = self.compiler_class()
+        if not self._accepts(expression):
+            raise FragmentError(
+                f"query is outside the {self.name} fragment: {expression.to_xpath()}"
+            )
+        plan = compiler.compile_query(expression)
+        stats.bump("algebra_operations", algebra_size(plan))
+        evaluator = AlgebraEvaluator(static_context.document)
+        result = evaluator.evaluate(plan, frozenset({context.node}))
+        stats.bump("algebra_evaluations", evaluator.operations_performed)
+        return NodeSet(result)
+
+    def _accepts(self, expression: Expression) -> bool:
+        return is_core_xpath(expression)
+
+    def compile(self, expression: Expression) -> AlgebraExpr:
+        """Expose the algebra plan (used by examples and tests)."""
+        return self.compiler_class().compile_query(expression)
+
+
+def core_xpath_union(expressions: Sequence[Expression]) -> Expression:
+    """Helper used by tests: union several Core XPath queries."""
+    result: Expression = expressions[0]
+    for expression in expressions[1:]:
+        result = UnionExpr(result, expression)
+    return result

@@ -1,0 +1,179 @@
+"""Document families used in the paper's evaluation (Section 2, Experiment 5).
+
+* ``doc_flat(i)`` — DOC(i): ``<a> <b/> … <b/> </a>`` with i ``b`` children
+  (Experiments 1, 3, 5a, Table V);
+* ``doc_flat_text(i)`` — DOC'(i): the ``b`` elements contain the text "c"
+  (Experiments 2, Table VII);
+* ``doc_deep(i)`` — a non-branching path of i ``b`` nodes (Experiment 5b);
+* ``doc_figure8()`` — the worked-example document of Figure 8 (Examples 8.1
+  and 11.2);
+* ``doc_example_2()`` / DOC(4) — the document of Example 4.1/6.4;
+* ``doc_idref(...)`` — a small ID/IDREF document exercising the ``ref``
+  relation of Section 10.2;
+* ``random_document(...)`` — a seeded random tree generator used by the
+  property-based tests.
+
+All generators can either return the XML text (for parser benchmarks) or a
+parsed, frozen :class:`~repro.xmlmodel.document.Document`.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Optional
+
+from ..xmlmodel.builder import TreeBuilder
+from ..xmlmodel.document import Document
+from ..xmlmodel.parser import parse_xml
+
+
+def doc_flat_text_source(size: int, text: str = "c") -> str:
+    """XML text of DOC'(size): ``<a><b>c</b>…</a>``."""
+    body = "".join(f"<b>{text}</b>" for _ in range(size))
+    return f"<a>{body}</a>"
+
+
+def doc_flat_source(size: int) -> str:
+    """XML text of DOC(size): ``<a><b/>…<b/></a>``."""
+    return "<a>" + "<b/>" * size + "</a>"
+
+
+def doc_deep_source(depth: int) -> str:
+    """XML text of the Experiment-5b documents: a path of ``b`` nodes."""
+    return "<b>" * depth + "</b>" * depth
+
+
+def doc_flat(size: int) -> Document:
+    """DOC(size) as a parsed document (size + 1 element nodes + the root)."""
+    builder = TreeBuilder()
+    builder.start("a")
+    for _ in range(size):
+        builder.element("b")
+    builder.end("a")
+    return builder.finish()
+
+
+def doc_flat_text(size: int, text: str = "c") -> Document:
+    """DOC'(size): every ``b`` child carries a text node (default "c")."""
+    builder = TreeBuilder()
+    builder.start("a")
+    for _ in range(size):
+        builder.element("b", text=text)
+    builder.end("a")
+    return builder.finish()
+
+
+def doc_deep(depth: int) -> Document:
+    """A non-branching path of ``depth`` ``b`` elements (Experiment 5b)."""
+    if depth < 1:
+        raise ValueError("depth must be at least 1")
+    builder = TreeBuilder()
+    for _ in range(depth):
+        builder.start("b")
+    for _ in range(depth):
+        builder.end("b")
+    return builder.finish()
+
+
+def doc_wide(width: int, text: Optional[str] = None, tag: str = "item") -> Document:
+    """A generic wide document with numbered children (used by examples)."""
+    builder = TreeBuilder()
+    builder.start("root")
+    for index in range(width):
+        builder.element(tag, {"n": str(index)}, text=text if text is not None else str(index))
+    builder.end("root")
+    return builder.finish()
+
+
+def doc_figure8() -> Document:
+    """The sample XML document of Figure 8 (Examples 8.1 and 11.2)."""
+    text = (
+        '<a id="10">'
+        '<b id="11">'
+        '<c id="12">21 22</c>'
+        '<c id="13">23 24</c>'
+        '<d id="14">100</d>'
+        "</b>"
+        '<b id="21">'
+        '<c id="22">11 12</c>'
+        '<d id="23">13 14</d>'
+        '<d id="24">100</d>'
+        "</b>"
+        "</a>"
+    )
+    return parse_xml(text)
+
+
+def doc_example_4_1() -> Document:
+    """DOC(4) of Example 4.1 / Example 6.4."""
+    return doc_flat(4)
+
+
+def doc_idref() -> Document:
+    """The ID/IDREF example of Theorem 10.7's proof.
+
+    ``<t id="1"> 3 <t id="2"> 1 </t> <t id="3"> 1 2 </t> </t>`` — yielding
+    ref = {(n1, n3), (n2, n1), (n3, n1), (n3, n2)}.
+    """
+    text = '<t id="1"> 3 <t id="2"> 1 </t> <t id="3"> 1 2 </t> </t>'
+    return parse_xml(text)
+
+
+def doc_library(books: int = 20, seed: int = 7) -> Document:
+    """A small "digital library" document used by the domain examples.
+
+    Books reference related books by ID, giving the id axis and the
+    XPatterns engine something realistic to chew on.
+    """
+    rng = random.Random(seed)
+    topics = ["databases", "xml", "logic", "systems", "networks"]
+    builder = TreeBuilder()
+    builder.start("library")
+    for index in range(books):
+        identifier = f"bk{index}"
+        related = " ".join(
+            f"bk{rng.randrange(books)}" for _ in range(rng.randint(0, 2))
+        )
+        builder.start(
+            "book",
+            {
+                "id": identifier,
+                "topic": rng.choice(topics),
+                "year": str(1990 + rng.randrange(30)),
+            },
+        )
+        builder.element("title", text=f"Title {index}")
+        builder.element("pages", text=str(rng.randint(80, 900)))
+        if related:
+            builder.element("related", text=related)
+        builder.end("book")
+    builder.end("library")
+    return builder.finish()
+
+
+def random_document(
+    seed: int,
+    max_depth: int = 4,
+    max_children: int = 4,
+    tags: tuple[str, ...] = ("a", "b", "c"),
+    with_text: bool = True,
+) -> Document:
+    """A seeded random document for property-based / differential tests."""
+    rng = random.Random(seed)
+    builder = TreeBuilder()
+
+    def emit(depth: int) -> None:
+        tag = rng.choice(tags)
+        attributes = {}
+        if rng.random() < 0.3:
+            attributes["id"] = f"n{rng.randrange(1000)}"
+        builder.start(tag, attributes)
+        if with_text and rng.random() < 0.4:
+            builder.text(str(rng.randrange(100)))
+        if depth < max_depth:
+            for _ in range(rng.randrange(max_children + 1)):
+                emit(depth + 1)
+        builder.end(tag)
+
+    emit(0)
+    return builder.finish()

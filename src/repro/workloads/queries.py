@@ -1,0 +1,148 @@
+"""Query families of the paper's evaluation (Section 2, Experiment 5, §9.3, §12).
+
+Each generator takes the "query size" parameter used in the corresponding
+figure or table and returns the XPath query string exactly as constructed in
+the paper:
+
+* Experiment 1 — ``//a/b`` extended by ``/parent::a/b`` per size step;
+* Experiment 2 — nested ``//*[parent::a/child::* = 'c']`` predicates
+  (also the query family of Table VII);
+* Experiment 3 — nested ``count(parent::a/b) > 1`` predicates
+  (also Figure 12 / Table V);
+* Experiment 4 — the fixed query ``//a + q(i) + //b`` with the mutually
+  nested ``ancestor::a … //b`` pattern;
+* Experiment 5 — pure forward-axis chains ``count(//b/following::b/…)`` and
+  ``count(//b//b…)``.
+
+A handful of extra families (Core XPath / XPatterns / Extended Wadler
+workloads) support the fragment benchmarks and the examples.
+"""
+
+from __future__ import annotations
+
+
+# ----------------------------------------------------------------------
+# Experiment 1 (Figure 2, left)
+# ----------------------------------------------------------------------
+def experiment1_query(size: int) -> str:
+    """The i-th query of Experiment 1: ``//a/b`` + (i-1) × ``/parent::a/b``."""
+    if size < 1:
+        raise ValueError("query size must be at least 1")
+    return "//a/b" + "/parent::a/b" * (size - 1)
+
+
+# ----------------------------------------------------------------------
+# Experiment 2 (Figure 2, right; Table VII)
+# ----------------------------------------------------------------------
+def experiment2_query(size: int) -> str:
+    """Nested path/relational queries run against Saxon in Experiment 2.
+
+    size=1: ``//*[parent::a/child::* = 'c']``; each further level nests the
+    whole predicate inside ``parent::a/child::*[...] = 'c'``.
+    """
+    if size < 1:
+        raise ValueError("query size must be at least 1")
+    inner = "parent::a/child::* = 'c'"
+    for _ in range(size - 1):
+        inner = f"parent::a/child::*[{inner}] = 'c'"
+    return f"//*[{inner}]"
+
+
+# ----------------------------------------------------------------------
+# Experiment 3 (Figure 3, left; Figure 12; Table V)
+# ----------------------------------------------------------------------
+def experiment3_query(size: int) -> str:
+    """Nested path/arithmetic queries run against IE6 in Experiment 3.
+
+    size=1: ``//a/b[count(parent::a/b) > 1]``; each further level nests the
+    whole bracketed expression inside another ``count(...) > 1``.
+    """
+    if size < 1:
+        raise ValueError("query size must be at least 1")
+    inner = "count(parent::a/b) > 1"
+    for _ in range(size - 1):
+        inner = f"count(parent::a/b[{inner}]) > 1"
+    return f"//a/b[{inner}]"
+
+
+# ----------------------------------------------------------------------
+# Experiment 4 (Figure 3, right)
+# ----------------------------------------------------------------------
+def _q(depth: int) -> str:
+    """The recursive component q(i) of Experiment 4."""
+    if depth == 0:
+        return ""
+    return f"//b[ancestor::a{_q(depth - 1)}//b]/ancestor::a"
+
+
+def experiment4_query(depth: int = 20) -> str:
+    """The fixed query of Experiment 4: ``//a`` + q(depth) + ``//b``."""
+    if depth < 0:
+        raise ValueError("depth must be non-negative")
+    return "//a" + _q(depth) + "//b"
+
+
+# ----------------------------------------------------------------------
+# Experiment 5 (Figure 4)
+# ----------------------------------------------------------------------
+def experiment5_following_query(size: int) -> str:
+    """``count(//b/following::b/…/following::b)`` with size-1 following steps."""
+    if size < 1:
+        raise ValueError("query size must be at least 1")
+    return "count(//b" + "/following::b" * (size - 1) + ")"
+
+
+def experiment5_descendant_query(size: int) -> str:
+    """``count(//b//b…//b)`` with ``size`` descendant steps."""
+    if size < 1:
+        raise ValueError("query size must be at least 1")
+    return "count(" + "//b" * size + ")"
+
+
+# ----------------------------------------------------------------------
+# Worked examples from the paper
+# ----------------------------------------------------------------------
+EXAMPLE_6_4_QUERY = "descendant::b/following-sibling::*[position() != last()]"
+EXAMPLE_7_2_QUERY = (
+    "/descendant::a[count(descendant::b/child::c) + position() < last()]/child::d"
+)
+EXAMPLE_8_1_QUERY = (
+    "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]"
+)
+EXAMPLE_10_3_QUERY = "/descendant::a/child::b[child::c/child::d or not(following::*)]"
+EXAMPLE_11_2_QUERY = (
+    "/child::a/descendant::*[boolean(following::d[(position() != last()) and "
+    "(preceding-sibling::*/preceding::* = 100)]/following::d)]"
+)
+
+
+# ----------------------------------------------------------------------
+# Fragment workloads (Figure 1 benches, examples)
+# ----------------------------------------------------------------------
+def core_xpath_chain_query(size: int, axis: str = "descendant") -> str:
+    """A Core XPath query with ``size`` steps and existential predicates."""
+    if size < 1:
+        raise ValueError("query size must be at least 1")
+    steps = "/".join(f"{axis}::*[child::b or not(child::c)]" for _ in range(size))
+    return "/" + steps
+
+
+def wadler_position_query(size: int) -> str:
+    """An Extended Wadler query mixing positions and existential paths."""
+    if size < 1:
+        raise ValueError("query size must be at least 1")
+    predicate = "position() != last() and boolean(following-sibling::b)"
+    steps = "/".join(f"child::*[{predicate}]" for _ in range(size))
+    return "/descendant::a/" + steps if size else "/descendant::a"
+
+
+def xpatterns_id_query(key: str = "bk1") -> str:
+    """An XPatterns query starting from an id() seed (library example)."""
+    return f"id('{key}')/child::title"
+
+
+def antagonist_forward_query(size: int) -> str:
+    """The ``//following::*/…`` query family of the Section-2 discussion."""
+    if size < 1:
+        raise ValueError("query size must be at least 1")
+    return "//*" + "/following::*" * (size - 1)

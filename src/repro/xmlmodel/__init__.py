@@ -1,0 +1,38 @@
+"""XML substrate: data model, parser, builder and serialiser (paper §3–§4).
+
+This subpackage is self-contained (no dependency on the XPath layers) and
+provides everything the paper assumes about XML documents:
+
+* the seven node types and the tree structure with the primitive
+  ``firstchild`` / ``nextsibling`` relations (:mod:`.nodes`);
+* the document container with document order, node-test indexes and the ID
+  machinery (:mod:`.document`, :mod:`.ids`);
+* a from-scratch XML tokenizer/parser and a serialiser
+  (:mod:`.lexer`, :mod:`.parser`, :mod:`.serializer`);
+* a push-style tree builder for programmatic construction (:mod:`.builder`).
+"""
+
+from .builder import TreeBuilder, build_document
+from .document import Document
+from .ids import RefRelation, deref_ids, ref_relation_for
+from .lexer import XMLLexer, XMLToken, XMLTokenType
+from .nodes import Node, NodeType
+from .parser import parse_xml
+from .serializer import serialize, serialize_node
+
+__all__ = [
+    "Document",
+    "Node",
+    "NodeType",
+    "RefRelation",
+    "TreeBuilder",
+    "XMLLexer",
+    "XMLToken",
+    "XMLTokenType",
+    "build_document",
+    "deref_ids",
+    "parse_xml",
+    "ref_relation_for",
+    "serialize",
+    "serialize_node",
+]

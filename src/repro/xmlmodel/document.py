@@ -1,0 +1,202 @@
+"""The Document container: dom, document order and node-test indexes.
+
+The paper (Section 3) works with a set ``dom`` of nodes, primitive relations
+``firstchild``/``nextsibling`` and, in Section 4, a node-test function ``T``
+mapping each node test to the subset of ``dom`` satisfying it.  A
+:class:`Document` owns the node tree and provides:
+
+* ``dom`` — all nodes in document order (list and set views);
+* the frozen ``first_child`` / ``next_sibling`` / ``prev_sibling`` links;
+* node-test indexes (by type, and by (type, name));
+* ID lookup used by ``id()`` / ``deref_ids`` and the ``ref`` relation of
+  XPatterns (Section 10.2).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional
+
+from .nodes import Node, NodeType
+
+
+class Document:
+    """An immutable (after :meth:`freeze`) XML document tree.
+
+    Parameters
+    ----------
+    root:
+        A node of type :data:`NodeType.ROOT`.  The tree below it must be
+        fully built before the document is frozen.
+    id_attribute:
+        Name of the attribute treated as an ID (DTD ID/IDREF substitute).
+        The paper's ``deref_ids`` function needs only a node-id mapping; we
+        follow the common convention of using attributes named ``id``.
+    """
+
+    def __init__(self, root: Node, id_attribute: str = "id"):
+        if root.node_type is not NodeType.ROOT:
+            raise ValueError("Document requires a root-type node")
+        self.root = root
+        self.id_attribute = id_attribute
+        self._nodes: list[Node] = []
+        self._node_set: set[Node] = set()
+        self._by_type: dict[NodeType, list[Node]] = {}
+        self._by_type_and_name: dict[tuple[NodeType, str], list[Node]] = {}
+        self._ids: dict[str, Node] = {}
+        self._frozen = False
+
+    # ------------------------------------------------------------------
+    # Freezing: assign document order and build indexes
+    # ------------------------------------------------------------------
+    def freeze(self) -> "Document":
+        """Assign document order, wire sibling links and build indexes.
+
+        Returns ``self`` so the call can be chained.  Freezing twice is a
+        no-op.
+        """
+        if self._frozen:
+            return self
+        order = 0
+        stack: list[Node] = [self.root]
+        nodes: list[Node] = []
+        while stack:
+            node = stack.pop()
+            node.order = order
+            node.document = self
+            order += 1
+            nodes.append(node)
+            seq = node.child0_sequence()
+            # Wire primitive relations over the child0 sequence.
+            node.first_child = seq[0] if seq else None
+            previous: Optional[Node] = None
+            for child in seq:
+                child.prev_sibling = previous
+                if previous is not None:
+                    previous.next_sibling = child
+                previous = child
+            if previous is not None:
+                previous.next_sibling = None
+            stack.extend(reversed(seq))
+        self._nodes = nodes
+        self._node_set = set(nodes)
+        self._build_indexes()
+        self._frozen = True
+        return self
+
+    def _build_indexes(self) -> None:
+        by_type: dict[NodeType, list[Node]] = {t: [] for t in NodeType}
+        by_type_and_name: dict[tuple[NodeType, str], list[Node]] = {}
+        ids: dict[str, Node] = {}
+        for node in self._nodes:
+            by_type[node.node_type].append(node)
+            if node.name is not None:
+                by_type_and_name.setdefault((node.node_type, node.name), []).append(node)
+            if node.node_type is NodeType.ELEMENT:
+                id_value = node.attribute_value(self.id_attribute)
+                if id_value is not None and id_value not in ids:
+                    ids[id_value] = node
+        self._by_type = by_type
+        self._by_type_and_name = by_type_and_name
+        self._ids = ids
+
+    def _require_frozen(self) -> None:
+        if not self._frozen:
+            raise RuntimeError("Document must be frozen before it is queried")
+
+    # ------------------------------------------------------------------
+    # dom views
+    # ------------------------------------------------------------------
+    @property
+    def dom(self) -> list[Node]:
+        """All nodes of the document in document order."""
+        self._require_frozen()
+        return list(self._nodes)
+
+    @property
+    def dom_set(self) -> set[Node]:
+        """All nodes of the document as a set (membership checks)."""
+        self._require_frozen()
+        return set(self._node_set)
+
+    def __len__(self) -> int:
+        self._require_frozen()
+        return len(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        self._require_frozen()
+        return iter(self._nodes)
+
+    def __contains__(self, node: object) -> bool:
+        self._require_frozen()
+        return node in self._node_set
+
+    @property
+    def document_element(self) -> Optional[Node]:
+        """The single element child of the root (the document element)."""
+        self._require_frozen()
+        for child in self.root.children:
+            if child.node_type is NodeType.ELEMENT:
+                return child
+        return None
+
+    # ------------------------------------------------------------------
+    # Node tests (paper Section 4, function T)
+    # ------------------------------------------------------------------
+    def nodes_of_type(self, node_type: NodeType) -> list[Node]:
+        """T(τ()) — all nodes of the given type, in document order."""
+        self._require_frozen()
+        return list(self._by_type.get(node_type, []))
+
+    def nodes_of_type_and_name(self, node_type: NodeType, name: str) -> list[Node]:
+        """T(τ(n)) — all nodes of the given type carrying the given name."""
+        self._require_frozen()
+        return list(self._by_type_and_name.get((node_type, name), []))
+
+    # ------------------------------------------------------------------
+    # IDs (paper Section 4, deref_ids; Section 10.2, ref relation)
+    # ------------------------------------------------------------------
+    def element_by_id(self, identifier: str) -> Optional[Node]:
+        """Return the element whose ID attribute equals ``identifier``."""
+        self._require_frozen()
+        return self._ids.get(identifier)
+
+    def deref_ids(self, value: str) -> list[Node]:
+        """Interpret ``value`` as a whitespace-separated list of IDs.
+
+        Returns the referenced element nodes in document order, without
+        duplicates (paper Section 4, function ``deref_ids``).
+        """
+        self._require_frozen()
+        seen: set[Node] = set()
+        result: list[Node] = []
+        for token in value.split():
+            node = self._ids.get(token)
+            if node is not None and node not in seen:
+                seen.add(node)
+                result.append(node)
+        result.sort(key=lambda n: n.order)
+        return result
+
+    def id_map(self) -> dict[str, Node]:
+        """A copy of the id → element mapping."""
+        self._require_frozen()
+        return dict(self._ids)
+
+    # ------------------------------------------------------------------
+    # Utility
+    # ------------------------------------------------------------------
+    def first_in_document_order(self, nodes: Iterable[Node]) -> Optional[Node]:
+        """``first_<doc``: the first node of ``nodes`` in document order."""
+        best: Optional[Node] = None
+        for node in nodes:
+            if best is None or node.order < best.order:
+                best = node
+        return best
+
+    def sorted_by_document_order(self, nodes: Iterable[Node]) -> list[Node]:
+        """Return ``nodes`` as a list sorted by document order."""
+        return sorted(nodes, key=lambda n: n.order)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        size = len(self._nodes) if self._frozen else "unfrozen"
+        return f"<Document nodes={size}>"

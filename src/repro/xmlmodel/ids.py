@@ -1,0 +1,126 @@
+"""ID/IDREF support and the ``ref`` relation of XPatterns (paper §4, §10.2).
+
+Two pieces live here:
+
+* :func:`deref_ids` — the paper's function mapping a whitespace-separated
+  string of IDs to the set of referenced nodes (a thin wrapper over the
+  document's ID index, kept as a free function to mirror the paper).
+* :class:`RefRelation` — the auxiliary binary relation "ref" of Theorem 10.7:
+  ``(x, y) ∈ ref`` iff the text *directly* inside ``x`` (not inside its
+  descendants) contains a whitespace-separated token equal to the ID of
+  ``y``.  It supports the linear-time ``id`` axis and its inverse used by the
+  XPatterns engine.
+"""
+
+from __future__ import annotations
+
+from .document import Document
+from .nodes import Node, NodeType
+
+
+def deref_ids(document: Document, value: str) -> list[Node]:
+    """Return the nodes whose IDs occur in the whitespace-separated ``value``."""
+    return document.deref_ids(value)
+
+
+class RefRelation:
+    """The precomputed ``ref`` relation and the derived ``id`` axis.
+
+    The relation is computed in a single pass over the document (linear time
+    in the size of the document text, as required by Theorem 10.7) and is
+    cached per document by :func:`ref_relation_for`.
+    """
+
+    def __init__(self, document: Document):
+        self.document = document
+        self._forward: dict[Node, list[Node]] = {}
+        self._backward: dict[Node, list[Node]] = {}
+        self._build()
+
+    def _build(self) -> None:
+        id_map = self.document.id_map()
+        for node in self.document.dom:
+            if node.node_type not in (NodeType.ELEMENT, NodeType.ROOT):
+                continue
+            direct_text = "".join(
+                child.value or ""
+                for child in node.children
+                if child.node_type is NodeType.TEXT
+            )
+            if not direct_text.strip():
+                continue
+            targets: list[Node] = []
+            seen: set[Node] = set()
+            for token in direct_text.split():
+                target = id_map.get(token)
+                if target is not None and target not in seen:
+                    seen.add(target)
+                    targets.append(target)
+            if targets:
+                self._forward[node] = targets
+                for target in targets:
+                    self._backward.setdefault(target, []).append(node)
+
+    # ------------------------------------------------------------------
+    # Relation views
+    # ------------------------------------------------------------------
+    def pairs(self) -> list[tuple[Node, Node]]:
+        """All (x, y) pairs of the relation, in document order of x then y."""
+        result: list[tuple[Node, Node]] = []
+        for source in sorted(self._forward, key=lambda n: n.order):
+            for target in self._forward[source]:
+                result.append((source, target))
+        return result
+
+    def referenced_from(self, node: Node) -> list[Node]:
+        """Nodes whose IDs are referenced by the direct text of ``node``."""
+        return list(self._forward.get(node, []))
+
+    def referencing(self, node: Node) -> list[Node]:
+        """Nodes whose direct text references the ID of ``node``."""
+        return list(self._backward.get(node, []))
+
+    # ------------------------------------------------------------------
+    # The id "axis" of Section 10.2
+    # ------------------------------------------------------------------
+    def id_axis(self, nodes: set[Node]) -> set[Node]:
+        """``id(S)``: nodes referenced from S or any descendant of S.
+
+        Mirrors the paper's definition
+        ``id(S) := {y | x ∈ descendant-or-self(S), (x, y) ∈ ref}``.
+        """
+        result: set[Node] = set()
+        for start in nodes:
+            for node in start.iter_self_and_descendants():
+                targets = self._forward.get(node)
+                if targets:
+                    result.update(targets)
+            # descendant-or-self of an attribute/namespace node is itself only.
+            targets = self._forward.get(start)
+            if targets:
+                result.update(targets)
+        return result
+
+    def id_axis_inverse(self, nodes: set[Node]) -> set[Node]:
+        """``id⁻¹(S)``: ancestor-or-self of nodes whose ref targets hit S."""
+        sources: set[Node] = set()
+        for target in nodes:
+            sources.update(self._backward.get(target, ()))
+        result: set[Node] = set()
+        for source in sources:
+            result.add(source)
+            result.update(source.iter_ancestors())
+        return result
+
+
+_REF_CACHE: dict[int, RefRelation] = {}
+
+
+def ref_relation_for(document: Document) -> RefRelation:
+    """Return the cached :class:`RefRelation` for ``document``."""
+    key = id(document)
+    relation = _REF_CACHE.get(key)
+    if relation is None or relation.document is not document:
+        relation = RefRelation(document)
+        _REF_CACHE[key] = relation
+    return relation

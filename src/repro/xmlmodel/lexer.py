@@ -1,0 +1,263 @@
+"""A small XML tokenizer.
+
+The evaluation documents of the paper (DOC(i), DOC'(i), deep paths) are plain
+XML without DTDs, so the tokenizer covers the subset of XML 1.0 needed for a
+faithful reproduction: start/end/empty tags with attributes, character data,
+comments, CDATA sections, processing instructions, the XML declaration, and
+the five predefined entities plus decimal/hexadecimal character references.
+
+The tokenizer is independent of the tree model; the parser in
+:mod:`repro.xmlmodel.parser` consumes the token stream and drives a
+:class:`~repro.xmlmodel.builder.TreeBuilder`.
+"""
+
+from __future__ import annotations
+
+import enum
+import re
+from dataclasses import dataclass, field
+from typing import Iterator
+
+from ..errors import XMLSyntaxError
+
+
+class XMLTokenType(enum.Enum):
+    """Kinds of tokens produced by :class:`XMLLexer`."""
+
+    START_TAG = "start-tag"
+    END_TAG = "end-tag"
+    EMPTY_TAG = "empty-tag"
+    TEXT = "text"
+    COMMENT = "comment"
+    CDATA = "cdata"
+    PROCESSING_INSTRUCTION = "processing-instruction"
+    DECLARATION = "declaration"
+    DOCTYPE = "doctype"
+    EOF = "eof"
+
+
+@dataclass
+class XMLToken:
+    """One lexical unit of the XML input."""
+
+    kind: XMLTokenType
+    #: Tag name, PI target, or empty for textual tokens.
+    name: str = ""
+    #: Character data, comment text, PI data.
+    data: str = ""
+    #: Attribute name/value pairs for start/empty tags, in document order.
+    attributes: list[tuple[str, str]] = field(default_factory=list)
+    #: 1-based line and column of the token start.
+    line: int = 1
+    column: int = 1
+
+
+_NAME_START = re.compile(r"[A-Za-z_:]")
+_NAME_CHARS = re.compile(r"[-A-Za-z0-9_:.·]")
+_ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+
+
+class XMLLexer:
+    """Convert XML text into a stream of :class:`XMLToken`."""
+
+    def __init__(self, text: str):
+        self._text = text
+        self._pos = 0
+        self._line = 1
+        self._column = 1
+
+    # ------------------------------------------------------------------
+    # Public interface
+    # ------------------------------------------------------------------
+    def tokens(self) -> Iterator[XMLToken]:
+        """Yield tokens until end of input, finishing with an EOF token."""
+        while self._pos < len(self._text):
+            if self._peek() == "<":
+                yield self._read_markup()
+            else:
+                yield self._read_text()
+        yield XMLToken(XMLTokenType.EOF, line=self._line, column=self._column)
+
+    # ------------------------------------------------------------------
+    # Low-level cursor helpers
+    # ------------------------------------------------------------------
+    def _peek(self, offset: int = 0) -> str:
+        index = self._pos + offset
+        if index >= len(self._text):
+            return ""
+        return self._text[index]
+
+    def _advance(self, count: int = 1) -> str:
+        chunk = self._text[self._pos : self._pos + count]
+        for ch in chunk:
+            if ch == "\n":
+                self._line += 1
+                self._column = 1
+            else:
+                self._column += 1
+        self._pos += count
+        return chunk
+
+    def _error(self, message: str) -> XMLSyntaxError:
+        return XMLSyntaxError(message, line=self._line, column=self._column)
+
+    def _expect(self, literal: str) -> None:
+        if not self._text.startswith(literal, self._pos):
+            raise self._error(f"expected {literal!r}")
+        self._advance(len(literal))
+
+    def _skip_whitespace(self) -> None:
+        while self._peek() and self._peek() in " \t\r\n":
+            self._advance()
+
+    def _read_name(self) -> str:
+        start_char = self._peek()
+        if not start_char or not _NAME_START.match(start_char):
+            raise self._error("expected an XML name")
+        chars = [self._advance()]
+        while self._peek() and _NAME_CHARS.match(self._peek()):
+            chars.append(self._advance())
+        return "".join(chars)
+
+    def _read_until(self, terminator: str, error: str) -> str:
+        end = self._text.find(terminator, self._pos)
+        if end < 0:
+            raise self._error(error)
+        data = self._text[self._pos : end]
+        self._advance(end - self._pos)
+        self._advance(len(terminator))
+        return data
+
+    # ------------------------------------------------------------------
+    # Token readers
+    # ------------------------------------------------------------------
+    def _read_markup(self) -> XMLToken:
+        line, column = self._line, self._column
+        if self._text.startswith("<!--", self._pos):
+            self._advance(4)
+            data = self._read_until("-->", "unterminated comment")
+            return XMLToken(XMLTokenType.COMMENT, data=data, line=line, column=column)
+        if self._text.startswith("<![CDATA[", self._pos):
+            self._advance(9)
+            data = self._read_until("]]>", "unterminated CDATA section")
+            return XMLToken(XMLTokenType.CDATA, data=data, line=line, column=column)
+        if self._text.startswith("<!DOCTYPE", self._pos):
+            self._advance(9)
+            data = self._read_doctype()
+            return XMLToken(XMLTokenType.DOCTYPE, data=data, line=line, column=column)
+        if self._text.startswith("<?", self._pos):
+            self._advance(2)
+            target = self._read_name()
+            self._skip_whitespace()
+            data = self._read_until("?>", "unterminated processing instruction")
+            kind = (
+                XMLTokenType.DECLARATION
+                if target.lower() == "xml"
+                else XMLTokenType.PROCESSING_INSTRUCTION
+            )
+            return XMLToken(kind, name=target, data=data.rstrip(), line=line, column=column)
+        if self._text.startswith("</", self._pos):
+            self._advance(2)
+            name = self._read_name()
+            self._skip_whitespace()
+            self._expect(">")
+            return XMLToken(XMLTokenType.END_TAG, name=name, line=line, column=column)
+        # Ordinary start or empty-element tag.
+        self._expect("<")
+        name = self._read_name()
+        attributes = self._read_attributes()
+        self._skip_whitespace()
+        if self._text.startswith("/>", self._pos):
+            self._advance(2)
+            return XMLToken(
+                XMLTokenType.EMPTY_TAG, name=name, attributes=attributes, line=line, column=column
+            )
+        self._expect(">")
+        return XMLToken(
+            XMLTokenType.START_TAG, name=name, attributes=attributes, line=line, column=column
+        )
+
+    def _read_doctype(self) -> str:
+        """Skip over a DOCTYPE declaration, tolerating an internal subset."""
+        depth = 1
+        start = self._pos
+        while depth > 0:
+            ch = self._peek()
+            if ch == "":
+                raise self._error("unterminated DOCTYPE declaration")
+            if ch == "<":
+                depth += 1
+            elif ch == ">":
+                depth -= 1
+            self._advance()
+        return self._text[start : self._pos - 1].strip()
+
+    def _read_attributes(self) -> list[tuple[str, str]]:
+        attributes: list[tuple[str, str]] = []
+        while True:
+            self._skip_whitespace()
+            ch = self._peek()
+            if ch in ("", ">", "/"):
+                return attributes
+            name = self._read_name()
+            self._skip_whitespace()
+            self._expect("=")
+            self._skip_whitespace()
+            quote = self._peek()
+            if quote not in ("'", '"'):
+                raise self._error("attribute values must be quoted")
+            self._advance()
+            end = self._text.find(quote, self._pos)
+            if end < 0:
+                raise self._error("unterminated attribute value")
+            raw = self._text[self._pos : end]
+            self._advance(end - self._pos + 1)
+            attributes.append((name, resolve_references(raw, self._error)))
+
+    def _read_text(self) -> XMLToken:
+        line, column = self._line, self._column
+        end = self._text.find("<", self._pos)
+        if end < 0:
+            end = len(self._text)
+        raw = self._text[self._pos : end]
+        self._advance(end - self._pos)
+        return XMLToken(
+            XMLTokenType.TEXT,
+            data=resolve_references(raw, self._error),
+            line=line,
+            column=column,
+        )
+
+
+def resolve_references(raw: str, error_factory=None) -> str:
+    """Replace entity and character references in ``raw`` text."""
+
+    def fail(message: str) -> Exception:
+        if error_factory is not None:
+            return error_factory(message)
+        return XMLSyntaxError(message)
+
+    if "&" not in raw:
+        return raw
+    out: list[str] = []
+    index = 0
+    while index < len(raw):
+        ch = raw[index]
+        if ch != "&":
+            out.append(ch)
+            index += 1
+            continue
+        end = raw.find(";", index)
+        if end < 0:
+            raise fail("unterminated entity reference")
+        entity = raw[index + 1 : end]
+        if entity.startswith("#x") or entity.startswith("#X"):
+            out.append(chr(int(entity[2:], 16)))
+        elif entity.startswith("#"):
+            out.append(chr(int(entity[1:], 10)))
+        elif entity in _ENTITIES:
+            out.append(_ENTITIES[entity])
+        else:
+            raise fail(f"unknown entity &{entity};")
+        index = end + 1
+    return "".join(out)

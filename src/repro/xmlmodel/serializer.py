@@ -1,0 +1,104 @@
+"""Serialisation of document trees back to XML text.
+
+Used by the examples and by round-trip tests (parse → serialise → parse must
+be structure-preserving).  The serialiser escapes the five predefined
+entities in character data and attribute values and can optionally indent
+output for readability.
+"""
+
+from __future__ import annotations
+
+from .document import Document
+from .nodes import Node, NodeType
+
+_TEXT_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;"}
+_ATTR_ESCAPES = {"&": "&amp;", "<": "&lt;", ">": "&gt;", '"': "&quot;"}
+
+
+def escape_text(value: str) -> str:
+    """Escape character data for use between tags."""
+    out = value
+    for raw, escaped in _TEXT_ESCAPES.items():
+        out = out.replace(raw, escaped)
+    return out
+
+
+def escape_attribute(value: str) -> str:
+    """Escape a value for use inside a double-quoted attribute."""
+    out = value
+    for raw, escaped in _ATTR_ESCAPES.items():
+        out = out.replace(raw, escaped)
+    return out
+
+
+def serialize(document: Document, *, indent: int | None = None, declaration: bool = False) -> str:
+    """Serialise ``document`` to XML text.
+
+    Parameters
+    ----------
+    indent:
+        When given, pretty-print with this many spaces per nesting level.
+        Pretty-printing inserts whitespace, so it is not round-trip safe for
+        mixed content; the default (``None``) emits a canonical compact form.
+    declaration:
+        Emit an ``<?xml version="1.0"?>`` declaration first.
+    """
+    parts: list[str] = []
+    if declaration:
+        parts.append('<?xml version="1.0"?>')
+        if indent is not None:
+            parts.append("\n")
+    for child in document.root.children:
+        _serialize_node(child, parts, indent, 0)
+    return "".join(parts)
+
+
+def serialize_node(node: Node, *, indent: int | None = None) -> str:
+    """Serialise a single node (and its subtree) to XML text."""
+    parts: list[str] = []
+    _serialize_node(node, parts, indent, 0)
+    return "".join(parts)
+
+
+def _serialize_node(node: Node, parts: list[str], indent: int | None, depth: int) -> None:
+    pad = "" if indent is None else " " * (indent * depth)
+    newline = "" if indent is None else "\n"
+    if node.node_type is NodeType.TEXT:
+        parts.append(escape_text(node.value or ""))
+        return
+    if node.node_type is NodeType.COMMENT:
+        parts.append(f"{pad}<!--{node.value or ''}-->{newline}")
+        return
+    if node.node_type is NodeType.PROCESSING_INSTRUCTION:
+        data = f" {node.value}" if node.value else ""
+        parts.append(f"{pad}<?{node.name}{data}?>{newline}")
+        return
+    if node.node_type is NodeType.ELEMENT:
+        attrs = []
+        for ns in node.namespaces:
+            name = "xmlns" if not ns.name else f"xmlns:{ns.name}"
+            attrs.append(f' {name}="{escape_attribute(ns.value or "")}"')
+        for attr in node.attributes:
+            attrs.append(f' {attr.name}="{escape_attribute(attr.value or "")}"')
+        attr_text = "".join(attrs)
+        children = node.children
+        if not children:
+            parts.append(f"{pad}<{node.name}{attr_text}/>{newline}")
+            return
+        only_text = all(child.node_type is NodeType.TEXT for child in children)
+        if indent is None or only_text:
+            parts.append(f"{pad}<{node.name}{attr_text}>")
+            for child in children:
+                _serialize_node(child, parts, None, 0)
+            parts.append(f"</{node.name}>{newline}")
+            return
+        parts.append(f"{pad}<{node.name}{attr_text}>{newline}")
+        for child in children:
+            _serialize_node(child, parts, indent, depth + 1)
+        parts.append(f"{pad}</{node.name}>{newline}")
+        return
+    if node.node_type is NodeType.ROOT:
+        for child in node.children:
+            _serialize_node(child, parts, indent, depth)
+        return
+    raise ValueError(f"cannot serialise node of type {node.node_type}")

@@ -1,0 +1,120 @@
+"""Normalisation to the paper's unabbreviated form (Section 5).
+
+The parser already expands the syntactic abbreviations (``//``, ``.``,
+``..``, ``@``, default axes).  This pass performs the remaining rewrites the
+paper assumes of its input queries:
+
+* **Positional predicates** — a predicate whose static type is a number is
+  rewritten to ``position() = e`` (e.g. ``//a[5]`` becomes
+  ``/descendant-or-self::node()/child::a[position() = 5]``).  Predicates of
+  unknown static type (variables) keep their dynamic check, which the value
+  layer resolves at run time (:func:`repro.xpath.values.predicate_truth`).
+* **Zero-argument string functions** — ``string-length()`` and
+  ``normalize-space()`` receive an explicit ``string()`` argument so that
+  all remaining context dependence is confined to the context primitives
+  ``position()``, ``last()``, ``string()``, ``number()``, ``name()``,
+  ``local-name()``, ``namespace-uri()`` and to location paths.
+* **lang()** — rewritten to the internal ``__lang__(ancestor-or-self::node(),
+  s)`` form, making the context dependence an ordinary location path.
+* **Function validation** — unknown functions and wrong arities are rejected
+  here, once, instead of failing differently in every engine.
+
+The result is a new tree; the input tree is never mutated.
+"""
+
+from __future__ import annotations
+
+from ..axes.nodetests import ANY_NODE
+from ..axes.regex import Axis
+from .ast import (
+    BinaryOp,
+    ContextFunction,
+    Expression,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    Negate,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+    VariableReference,
+)
+from .typing import check_function_call, static_type
+from .values import ValueType
+
+
+def normalize(expression: Expression) -> Expression:
+    """Return the normalised (unabbreviated-form) version of ``expression``."""
+    return _normalize_expr(expression)
+
+
+def _normalize_expr(expression: Expression) -> Expression:
+    if isinstance(expression, (StringLiteral, NumberLiteral, VariableReference, ContextFunction)):
+        return expression
+    if isinstance(expression, Negate):
+        return Negate(_normalize_expr(expression.operand))
+    if isinstance(expression, BinaryOp):
+        return BinaryOp(
+            expression.op,
+            _normalize_expr(expression.left),
+            _normalize_expr(expression.right),
+        )
+    if isinstance(expression, UnionExpr):
+        return UnionExpr(_normalize_expr(expression.left), _normalize_expr(expression.right))
+    if isinstance(expression, FunctionCall):
+        return _normalize_function(expression)
+    if isinstance(expression, LocationPath):
+        return LocationPath(expression.absolute, [_normalize_step(s) for s in expression.steps])
+    if isinstance(expression, FilterExpr):
+        return FilterExpr(
+            _normalize_expr(expression.primary),
+            [_normalize_predicate(p) for p in expression.predicates],
+        )
+    if isinstance(expression, PathExpr):
+        path = _normalize_expr(expression.path)
+        assert isinstance(path, LocationPath)
+        return PathExpr(_normalize_expr(expression.start), path)
+    if isinstance(expression, Step):
+        return _normalize_step(expression)
+    raise TypeError(f"cannot normalise {expression!r}")  # pragma: no cover
+
+
+def _normalize_step(step: Step) -> Step:
+    return Step(step.axis, step.node_test, [_normalize_predicate(p) for p in step.predicates])
+
+
+def _normalize_predicate(predicate: Expression) -> Expression:
+    normalized = _normalize_expr(predicate)
+    if static_type(normalized) is ValueType.NUMBER:
+        return BinaryOp("=", ContextFunction("position"), normalized)
+    return normalized
+
+
+def _normalize_function(call: FunctionCall) -> Expression:
+    check_function_call(call)
+    args = [_normalize_expr(arg) for arg in call.args]
+    name = call.name
+    if name in ("string-length", "normalize-space") and not args:
+        args = [ContextFunction("string")]
+    if name == "lang":
+        ancestors = LocationPath(False, [Step(Axis.ANCESTOR_OR_SELF, ANY_NODE)])
+        return FunctionCall("__lang__", [ancestors, args[0]])
+    return FunctionCall(name, args)
+
+
+def compile_query(text_or_ast) -> Expression:
+    """Parse (if needed) and normalise a query.
+
+    Accepts either an XPath string or an already-parsed AST; always returns a
+    normalised AST.  All engines use this as their single front-end entry
+    point, which is what makes differential testing between engines fair.
+    """
+    from .parser import parse_xpath  # local import to avoid a cycle
+
+    if isinstance(text_or_ast, str):
+        ast = parse_xpath(text_or_ast)
+    else:
+        ast = text_or_ast
+    return normalize(ast)

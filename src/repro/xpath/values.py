@@ -1,0 +1,239 @@
+"""XPath 1.0 value system: number, string, boolean, node-set (paper §5).
+
+XPath expressions evaluate to one of four types (Definition 5.1).  Numbers
+are IEEE doubles (Python floats, including NaN and infinities), strings and
+booleans are the native Python types, and node sets are represented by
+:class:`NodeSet`, an immutable set of nodes that also knows how to produce
+its members in document order (needed by ``string(nset)``, which picks the
+first node, and by result reporting).
+
+The conversion functions ``to_number`` / ``to_string`` / ``to_boolean``
+implement the F[[number]], F[[string]] and F[[boolean]] rows of Table II and
+the lexical rules of the XPath recommendation (e.g. integral numbers print
+without a decimal point).
+"""
+
+from __future__ import annotations
+
+import enum
+import math
+from typing import Iterable, Iterator, Optional, Union
+
+from ..xmlmodel.nodes import Node
+
+
+class ValueType(enum.Enum):
+    """The four XPath expression types (abbreviated num/str/bool/nset)."""
+
+    NUMBER = "num"
+    STRING = "str"
+    BOOLEAN = "bool"
+    NODE_SET = "nset"
+    #: Static type of variable references, unknown until a binding is seen.
+    UNKNOWN = "unknown"
+
+
+class NodeSet:
+    """An immutable set of document nodes.
+
+    Iteration yields nodes in document order.  Set operations return new
+    instances; the underlying nodes are shared (nodes are identity objects).
+    """
+
+    __slots__ = ("_nodes", "_ordered")
+
+    def __init__(self, nodes: Iterable[Node] = ()):
+        self._nodes: frozenset[Node] = frozenset(nodes)
+        self._ordered: Optional[tuple[Node, ...]] = None
+
+    # ------------------------------------------------------------------
+    # Views
+    # ------------------------------------------------------------------
+    def in_document_order(self) -> tuple[Node, ...]:
+        """Members sorted by document order (cached)."""
+        if self._ordered is None:
+            self._ordered = tuple(sorted(self._nodes, key=lambda n: n.order))
+        return self._ordered
+
+    def first(self) -> Optional[Node]:
+        """first_<doc — the first member in document order, or ``None``."""
+        ordered = self.in_document_order()
+        return ordered[0] if ordered else None
+
+    def as_set(self) -> frozenset[Node]:
+        return self._nodes
+
+    # ------------------------------------------------------------------
+    # Set algebra
+    # ------------------------------------------------------------------
+    def union(self, other: "NodeSet") -> "NodeSet":
+        return NodeSet(self._nodes | other._nodes)
+
+    def intersection(self, other: "NodeSet") -> "NodeSet":
+        return NodeSet(self._nodes & other._nodes)
+
+    def difference(self, other: "NodeSet") -> "NodeSet":
+        return NodeSet(self._nodes - other._nodes)
+
+    def __or__(self, other: "NodeSet") -> "NodeSet":
+        return self.union(other)
+
+    def __and__(self, other: "NodeSet") -> "NodeSet":
+        return self.intersection(other)
+
+    def __sub__(self, other: "NodeSet") -> "NodeSet":
+        return self.difference(other)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    def __len__(self) -> int:
+        return len(self._nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self._nodes)
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.in_document_order())
+
+    def __contains__(self, node: object) -> bool:
+        return node in self._nodes
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, NodeSet):
+            return self._nodes == other._nodes
+        if isinstance(other, (set, frozenset)):
+            return self._nodes == frozenset(other)
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        return hash(self._nodes)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        preview = ", ".join(repr(node) for node in list(self.in_document_order())[:4])
+        suffix = ", …" if len(self) > 4 else ""
+        return f"NodeSet({{{preview}{suffix}}})"
+
+
+#: Union of the Python types an XPath value may take.
+XPathValue = Union[float, str, bool, NodeSet]
+
+
+def value_type(value: XPathValue) -> ValueType:
+    """The XPath type of a runtime value."""
+    if isinstance(value, bool):
+        return ValueType.BOOLEAN
+    if isinstance(value, (int, float)):
+        return ValueType.NUMBER
+    if isinstance(value, str):
+        return ValueType.STRING
+    if isinstance(value, NodeSet):
+        return ValueType.NODE_SET
+    raise TypeError(f"not an XPath value: {value!r}")
+
+
+# ----------------------------------------------------------------------
+# Conversions (Table II: F[[number]], F[[string]], F[[boolean]])
+# ----------------------------------------------------------------------
+def to_number(value: XPathValue) -> float:
+    """Convert any XPath value to a number (F[[number : T → num]])."""
+    if isinstance(value, bool):
+        return 1.0 if value else 0.0
+    if isinstance(value, (int, float)):
+        return float(value)
+    if isinstance(value, str):
+        return string_to_number(value)
+    if isinstance(value, NodeSet):
+        return string_to_number(to_string(value))
+    raise TypeError(f"cannot convert {value!r} to a number")
+
+
+def string_to_number(text: str) -> float:
+    """The ``to_number`` lexical rule: optional sign, digits, optional fraction."""
+    stripped = text.strip()
+    if not stripped:
+        return math.nan
+    try:
+        return float(stripped)
+    except ValueError:
+        return math.nan
+
+
+def to_string(value: XPathValue) -> str:
+    """Convert any XPath value to a string (F[[string : T → str]])."""
+    if isinstance(value, bool):
+        return "true" if value else "false"
+    if isinstance(value, (int, float)):
+        return format_number(float(value))
+    if isinstance(value, str):
+        return value
+    if isinstance(value, NodeSet):
+        first = value.first()
+        return "" if first is None else first.string_value()
+    raise TypeError(f"cannot convert {value!r} to a string")
+
+
+def format_number(number: float) -> str:
+    """``to_string`` for numbers, following the XPath lexical rules.
+
+    Integers are rendered without a decimal point or exponent; NaN and the
+    infinities use the spec spellings.
+    """
+    if math.isnan(number):
+        return "NaN"
+    if math.isinf(number):
+        return "Infinity" if number > 0 else "-Infinity"
+    if number == 0:
+        return "0"
+    if number == int(number) and abs(number) < 1e16:
+        return str(int(number))
+    text = repr(number)
+    # Python may use exponent notation for very small/large magnitudes;
+    # expand it losslessly, since XPath number-to-string never uses exponents.
+    if "e" in text or "E" in text:
+        from decimal import Decimal
+
+        text = format(Decimal(text), "f")
+        if "." in text:
+            text = text.rstrip("0").rstrip(".")
+    return text
+
+
+def to_boolean(value: XPathValue) -> bool:
+    """Convert any XPath value to a boolean (F[[boolean : T → bool]])."""
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        number = float(value)
+        return not (number == 0 or math.isnan(number))
+    if isinstance(value, str):
+        return value != ""
+    if isinstance(value, NodeSet):
+        return len(value) > 0
+    raise TypeError(f"cannot convert {value!r} to a boolean")
+
+
+def node_string_value(node: Node) -> str:
+    """strval(x): the string value of a single node (paper Section 4)."""
+    return node.string_value()
+
+
+def node_number_value(node: Node) -> float:
+    """to_number(strval(x)) — used by sum() and nset comparisons."""
+    return string_to_number(node.string_value())
+
+
+def predicate_truth(value: XPathValue, position: int) -> bool:
+    """The truth of a predicate value relative to a context position.
+
+    The XPath rule: a number predicate is true iff it equals the context
+    position; anything else is taken through boolean().  The normaliser
+    rewrites statically-known numeric predicates to ``position() = e``
+    (paper Section 5), so this runtime rule only matters for dynamically
+    numeric values (e.g. variables).
+    """
+    if isinstance(value, bool):
+        return value
+    if isinstance(value, (int, float)):
+        return float(value) == float(position)
+    return to_boolean(value)

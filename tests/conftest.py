@@ -1,0 +1,80 @@
+"""Shared fixtures for the test suite.
+
+Keeps the package importable even when the editable install is unavailable
+(offline machines) by putting ``src/`` on ``sys.path``, and provides the
+documents most tests share: the paper's DOC(i) / DOC'(i) families, the
+Figure-8 worked-example document and a couple of richer trees.
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+import pytest
+
+_SRC = Path(__file__).resolve().parent.parent / "src"
+if str(_SRC) not in sys.path:
+    sys.path.insert(0, str(_SRC))
+
+from repro.workloads.documents import (  # noqa: E402
+    doc_figure8,
+    doc_flat,
+    doc_flat_text,
+    doc_idref,
+    doc_library,
+)
+from repro.xmlmodel.parser import parse_xml  # noqa: E402
+
+
+@pytest.fixture
+def doc2():
+    """DOC(2) — the Experiment-1 document ⟨a⟩⟨b/⟩⟨b/⟩⟨/a⟩."""
+    return doc_flat(2)
+
+
+@pytest.fixture
+def doc4():
+    """DOC(4) — the Example 4.1 / 6.4 document."""
+    return doc_flat(4)
+
+
+@pytest.fixture
+def doc_prime3():
+    """DOC'(3) — three ⟨b⟩c⟨/b⟩ children."""
+    return doc_flat_text(3)
+
+
+@pytest.fixture
+def figure8():
+    """The Figure-8 worked-example document (Examples 8.1 and 11.2)."""
+    return doc_figure8()
+
+
+@pytest.fixture
+def idref_doc():
+    """The ID/IDREF document of Theorem 10.7's proof."""
+    return doc_idref()
+
+
+@pytest.fixture
+def library():
+    """A small digital-library document for domain-flavoured tests."""
+    return doc_library(books=12, seed=3)
+
+
+@pytest.fixture
+def mixed_doc():
+    """A document exercising every node type (comments, PIs, attributes…)."""
+    text = (
+        "<?xml version='1.0'?>"
+        "<root lang='en'>"
+        "<!-- a comment -->"
+        "<?target data?>"
+        "<section id='s1' class='intro'>"
+        "Hello <em>world</em> text"
+        "</section>"
+        "<section id='s2'><p>Second</p><p>Third</p></section>"
+        "</root>"
+    )
+    return parse_xml(text)

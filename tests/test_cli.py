@@ -1,0 +1,72 @@
+"""Tests for the command-line interface (repro.cli)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, run
+
+CATALOG = "<catalog><book id='b1'><price>55</price></book><book id='b2'><price>30</price></book></catalog>"
+
+
+@pytest.fixture
+def catalog_file(tmp_path):
+    path = tmp_path / "catalog.xml"
+    path.write_text(CATALOG, encoding="utf-8")
+    return str(path)
+
+
+class TestCli:
+    def test_scalar_query_from_file(self, catalog_file, capsys):
+        assert run(["count(//book)", catalog_file]) == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_node_set_query_output(self, catalog_file, capsys):
+        assert run(["//book[price < 60]", catalog_file]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert all("book" in line for line in lines)
+
+    def test_stdin_input(self, capsys):
+        assert run(["string(//b)"], stdin="<a><b>hi</b></a>") == 0
+        assert capsys.readouterr().out.strip() == "hi"
+
+    def test_xml_output(self, catalog_file, capsys):
+        assert run(["//book[1]", catalog_file, "--xml"]) == 0
+        assert capsys.readouterr().out.startswith("<book")
+
+    def test_engine_selection(self, catalog_file, capsys):
+        assert run(["//book", catalog_file, "--engine", "mincontext"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_auto_engine(self, catalog_file, capsys):
+        assert run(["//book/price", catalog_file, "--engine", "auto"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+    def test_classify_flag(self, catalog_file, capsys):
+        assert run(["//book", catalog_file, "--classify"]) == 0
+        out = capsys.readouterr().out
+        assert "fragment:" in out and "Core XPath" in out
+
+    def test_stats_flag(self, catalog_file, capsys):
+        assert run(["count(//book)", catalog_file, "--stats"]) == 0
+        captured = capsys.readouterr()
+        assert "expression_evaluations" in captured.err
+
+    def test_bad_query_returns_error_code(self, catalog_file, capsys):
+        assert run(["//book[", catalog_file]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_missing_file_returns_error_code(self, capsys):
+        assert run(["//a", "/nonexistent/file.xml"]) == 2
+
+    def test_malformed_document_returns_error_code(self, tmp_path, capsys):
+        path = tmp_path / "bad.xml"
+        path.write_text("<a><b></a>", encoding="utf-8")
+        assert run(["//a", str(path)]) == 1
+
+    def test_parser_help_mentions_engines(self):
+        parser = build_parser()
+        assert any(
+            "engine" in action.dest for action in parser._actions
+        )

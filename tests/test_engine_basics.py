@@ -1,0 +1,188 @@
+"""Behavioural tests that every full-XPath engine must satisfy.
+
+These are parametrised over the six general-purpose engines so that each
+query/result pair below is checked six times — the naive baseline, the
+data-pool patch, and the four polynomial algorithms must all implement the
+same language.
+"""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.engines import (
+    BottomUpEngine,
+    DataPoolEngine,
+    MinContextEngine,
+    NaiveEngine,
+    OptMinContextEngine,
+    TopDownEngine,
+)
+from repro.errors import VariableBindingError, XPathEvaluationError
+from repro.xpath.context import Context
+from repro.xpath.values import NodeSet
+
+ENGINES = [
+    NaiveEngine,
+    DataPoolEngine,
+    BottomUpEngine,
+    TopDownEngine,
+    MinContextEngine,
+    OptMinContextEngine,
+]
+
+
+@pytest.fixture(params=ENGINES, ids=lambda cls: cls.name)
+def engine(request):
+    return request.param()
+
+
+def ids_of(nodes):
+    return [node.attribute_value("id") for node in nodes]
+
+
+class TestNodeSetQueries:
+    def test_absolute_child_path(self, engine, figure8):
+        assert ids_of(engine.select("/a/b", figure8)) == ["11", "21"]
+
+    def test_descendant_axis(self, engine, figure8):
+        assert ids_of(engine.select("//c", figure8)) == ["12", "13", "22"]
+
+    def test_parent_axis(self, engine, figure8):
+        result = engine.select("//c/parent::b", figure8)
+        assert ids_of(result) == ["11", "21"]
+
+    def test_ancestor_axis(self, engine, figure8):
+        result = engine.select("//d[@id='23']/ancestor::*", figure8)
+        assert ids_of(result) == ["10", "21"]
+
+    def test_following_sibling(self, engine, figure8):
+        result = engine.select("//c[@id='12']/following-sibling::*", figure8)
+        assert ids_of(result) == ["13", "14"]
+
+    def test_preceding_sibling(self, engine, figure8):
+        result = engine.select("//d[@id='24']/preceding-sibling::*", figure8)
+        assert ids_of(result) == ["22", "23"]
+
+    def test_following_axis(self, engine, figure8):
+        result = engine.select("//b[@id='11']/following::d", figure8)
+        assert ids_of(result) == ["23", "24"]
+
+    def test_preceding_axis(self, engine, figure8):
+        result = engine.select("//b[@id='21']/preceding::c", figure8)
+        assert ids_of(result) == ["12", "13"]
+
+    def test_attribute_axis(self, engine, figure8):
+        result = engine.select("//b/@id", figure8)
+        assert [node.value for node in result] == ["11", "21"]
+
+    def test_positional_predicate(self, engine, figure8):
+        assert ids_of(engine.select("/a/b[2]", figure8)) == ["21"]
+        assert ids_of(engine.select("/a/b[1]/c[last()]", figure8)) == ["13"]
+
+    def test_predicate_with_path(self, engine, figure8):
+        result = engine.select("//b[child::d]", figure8)
+        assert ids_of(result) == ["11", "21"]
+        result = engine.select("//b[child::c[2]]", figure8)
+        assert ids_of(result) == ["11"]
+
+    def test_string_comparison_predicate(self, engine, figure8):
+        result = engine.select("//*[child::text() = '100']", figure8)
+        assert ids_of(result) == ["14", "24"]
+
+    def test_union(self, engine, figure8):
+        result = engine.select("//c | //d", figure8)
+        assert ids_of(result) == ["12", "13", "14", "22", "23", "24"]
+
+    def test_relative_query_from_context_node(self, engine, figure8):
+        b21 = figure8.element_by_id("21")
+        result = engine.select("child::d", figure8, Context(b21, 1, 1))
+        assert ids_of(result) == ["23", "24"]
+
+    def test_dot_and_dotdot(self, engine, figure8):
+        c12 = figure8.element_by_id("12")
+        assert ids_of(engine.select(".", figure8, c12)) == ["12"]
+        assert ids_of(engine.select("..", figure8, c12)) == ["11"]
+
+    def test_id_function(self, engine, figure8):
+        assert ids_of(engine.select("id('13 24')", figure8)) == ["13", "24"]
+        assert ids_of(engine.select("id('13')/parent::*", figure8)) == ["11"]
+
+    def test_filter_expression(self, engine, figure8):
+        assert ids_of(engine.select("(//c)[2]", figure8)) == ["13"]
+
+    def test_empty_result(self, engine, figure8):
+        assert engine.select("//nonexistent", figure8) == []
+
+    def test_root_query(self, engine, figure8):
+        assert engine.select("/", figure8) == [figure8.root]
+
+
+class TestScalarQueries:
+    def test_count(self, engine, figure8):
+        assert engine.evaluate("count(//c)", figure8) == 3.0
+        assert engine.evaluate("count(//b/*)", figure8) == 6.0
+
+    def test_sum(self, engine, figure8):
+        assert engine.evaluate("sum(//d[. = '100'])", figure8) == 200.0
+
+    def test_arithmetic_with_paths(self, engine, figure8):
+        assert engine.evaluate("count(//c) * 2 + 1", figure8) == 7.0
+
+    def test_string_value_of_path(self, engine, figure8):
+        assert engine.evaluate("string(//d)", figure8) == "100"
+
+    def test_boolean_of_path(self, engine, figure8):
+        assert engine.evaluate("boolean(//c)", figure8) is True
+        assert engine.evaluate("boolean(//zz)", figure8) is False
+
+    def test_existential_comparison(self, engine, figure8):
+        assert engine.evaluate("//d = 100", figure8) is True
+        assert engine.evaluate("//d = 99", figure8) is False
+        assert engine.evaluate("//c != //d", figure8) is True
+
+    def test_position_and_last_at_top_level(self, engine, figure8):
+        context = Context(figure8.element_by_id("13"), 2, 3)
+        assert engine.evaluate("position()", figure8, context) == 2.0
+        assert engine.evaluate("last()", figure8, context) == 3.0
+        assert engine.evaluate("position() = last()", figure8, context) is False
+
+    def test_string_functions_on_context(self, engine, figure8):
+        context = Context(figure8.element_by_id("14"), 1, 1)
+        assert engine.evaluate("string()", figure8, context) == "100"
+        assert engine.evaluate("number()", figure8, context) == 100.0
+        assert engine.evaluate("name()", figure8, context) == "d"
+
+    def test_nan_propagation(self, engine, figure8):
+        assert math.isnan(engine.evaluate("number('abc')", figure8))
+
+    def test_literals(self, engine, figure8):
+        assert engine.evaluate("3 div 4", figure8) == 0.75
+        assert engine.evaluate("concat('x', 'y')", figure8) == "xy"
+        assert engine.evaluate("true() and not(false())", figure8) is True
+
+
+class TestVariables:
+    def test_variable_binding(self, engine, figure8):
+        assert engine.evaluate("$x + 1", figure8, variables={"x": 2.0}) == 3.0
+
+    def test_node_set_variable(self, engine, figure8):
+        nodes = NodeSet([figure8.element_by_id("14")])
+        assert engine.evaluate("count($n)", figure8, variables={"n": nodes}) == 1.0
+
+    def test_missing_variable(self, engine, figure8):
+        with pytest.raises(VariableBindingError):
+            engine.evaluate("$missing", figure8)
+
+
+class TestErrors:
+    def test_select_requires_node_set(self, engine, figure8):
+        with pytest.raises(XPathEvaluationError):
+            engine.select("count(//c)", figure8)
+
+    def test_stats_populated(self, engine, figure8):
+        engine.evaluate("//c", figure8)
+        assert engine.last_stats is not None
+        assert engine.last_stats.total_work() > 0

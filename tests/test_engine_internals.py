@@ -1,0 +1,311 @@
+"""White-box tests of the individual engines' internal machinery.
+
+The black-box behaviour is covered by test_engine_basics / test_differential;
+these tests pin the *mechanisms* the paper describes: context-value tables,
+the data pool, vectorised evaluation, the relevant-context analysis, the
+MinContext procedures and the backward propagation of OptMinContext.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.engines import (
+    BottomUpEngine,
+    DataPoolEngine,
+    MinContextEngine,
+    NaiveEngine,
+    OptMinContextEngine,
+    TopDownEngine,
+)
+from repro.engines.base import EvaluationStats
+from repro.engines.common import evaluate_context_function, filter_by_predicates
+from repro.engines.cvt import ContextValueTable, TableStore
+from repro.engines.mincontext import MinContextEvaluator
+from repro.engines.optmincontext import OptMinContextEvaluator
+from repro.engines.relevance import (
+    CN,
+    CP,
+    CS,
+    compute_relevance,
+    depends_on_position_or_size,
+    enumerate_keys,
+    project_context,
+)
+from repro.axes.regex import Axis
+from repro.workloads.documents import doc_flat, doc_flat_text
+from repro.xpath.ast import BinaryOp, ContextFunction, LocationPath, NumberLiteral, walk
+from repro.xpath.context import Context, StaticContext
+from repro.xpath.normalize import compile_query
+from repro.xpath.values import NodeSet
+
+
+class TestRelevance:
+    def test_constants_and_primitives(self):
+        relevance = compute_relevance(compile_query("position() + 1"))
+        by_type = {type(node).__name__: rel for node, rel in relevance.items()}
+        assert by_type["ContextFunction"] == frozenset({CP})
+        assert by_type["NumberLiteral"] == frozenset()
+        assert by_type["BinaryOp"] == frozenset({CP})
+
+    def test_location_paths_depend_on_cn_only(self):
+        query = compile_query("child::a[position() = last()]")
+        relevance = compute_relevance(query)
+        assert relevance[query] == frozenset({CN})
+        step = query.steps[0]
+        assert relevance[step] == frozenset({CN})
+        predicate = step.predicates[0]
+        assert relevance[predicate] == frozenset({CP, CS})
+
+    def test_absolute_paths_are_context_independent(self):
+        query = compile_query("/descendant::a")
+        assert compute_relevance(query)[query] == frozenset()
+
+    def test_variables_and_literals_are_irrelevant(self):
+        query = compile_query("$x + 3")
+        relevance = compute_relevance(query)
+        assert relevance[query] == frozenset()
+
+    def test_string_function_depends_on_context_node(self):
+        query = compile_query("string()")
+        assert compute_relevance(query)[query] == frozenset({CN})
+
+    def test_union_combines_children(self):
+        query = compile_query("//a | child::b")
+        relevance = compute_relevance(query)
+        assert relevance[query] == frozenset({CN})
+
+    def test_depends_on_position_or_size(self):
+        assert depends_on_position_or_size(frozenset({CP}))
+        assert depends_on_position_or_size(frozenset({CS, CN}))
+        assert not depends_on_position_or_size(frozenset({CN}))
+
+    def test_projection(self, figure8):
+        context = Context(figure8.document_element, 2, 5)
+        assert project_context(context, frozenset({CN})) == (figure8.document_element, None, None)
+        assert project_context(context, frozenset({CP, CS})) == (None, 2, 5)
+        assert project_context(context, frozenset()) == (None, None, None)
+
+    def test_enumerate_keys_respects_relevance(self, doc2):
+        keys = list(enumerate_keys(doc2, frozenset({CP, CS})))
+        n = len(doc2)
+        assert len(keys) == n * (n + 1) / 2
+        assert all(node is None for node, _p, _s in keys)
+        single = list(enumerate_keys(doc2, frozenset()))
+        assert single == [(None, None, None)]
+
+
+class TestContextValueTables:
+    def test_set_and_get_by_context(self, figure8):
+        expr = compile_query("string()")
+        table = ContextValueTable(expr, frozenset({CN}))
+        context = Context(figure8.document_element, 1, 1)
+        table.set_context(context, "value")
+        assert table.get_context(context) == "value"
+        assert table.get_triple(figure8.document_element, 3, 7) == "value"
+        assert len(table) == 1
+
+    def test_maybe_get(self, figure8):
+        expr = compile_query("string()")
+        table = ContextValueTable(expr, frozenset({CN}))
+        assert table.maybe_get_context(Context(figure8.root, 1, 1)) is None
+
+    def test_table_store(self, figure8):
+        expr = compile_query("1")
+        store = TableStore()
+        table = ContextValueTable(expr, frozenset())
+        table.set_key((None, None, None), 1.0)
+        store.add(table)
+        assert expr in store
+        assert store.get(expr) is table
+        assert store.total_rows() == 1
+        assert len(store) == 1
+
+
+class TestBottomUpInternals:
+    def test_tables_exist_for_every_subexpression(self, doc2):
+        engine = BottomUpEngine()
+        query = "//b[position() != last()]"
+        engine.evaluate(query, doc2)
+        compiled_size = len(list(walk(compile_query(query))))
+        assert len(engine.last_tables) == compiled_size
+
+    def test_absolute_path_table_has_single_row(self, doc2):
+        engine = BottomUpEngine()
+        engine.evaluate("/a/b", doc2)
+        for table in engine.last_tables.tables():
+            if isinstance(table.expression, LocationPath) and table.expression.absolute:
+                assert len(table) == 1
+
+    def test_relative_path_table_has_row_per_node(self, doc2):
+        engine = BottomUpEngine()
+        engine.evaluate("descendant::b", doc2)
+        for table in engine.last_tables.tables():
+            if isinstance(table.expression, LocationPath):
+                assert len(table) == len(doc2)
+
+    def test_position_table_rows(self, doc2):
+        engine = BottomUpEngine()
+        engine.evaluate("//b[position() = 2]", doc2)
+        position_tables = [
+            table
+            for table in engine.last_tables.tables()
+            if isinstance(table.expression, ContextFunction)
+            and table.expression.name == "position"
+        ]
+        assert position_tables and len(position_tables[0]) == len(doc2)
+
+    def test_stats_count_table_rows(self, doc2):
+        engine = BottomUpEngine()
+        engine.evaluate("//b", doc2)
+        assert engine.last_stats.table_rows == engine.last_tables.total_rows()
+
+
+class TestDataPoolInternals:
+    def test_memoisation_hits_on_repeated_subexpressions(self, doc2):
+        engine = DataPoolEngine()
+        engine.evaluate("//b[count(parent::a/b) > 1][count(parent::a/b) > 1]", doc2)
+        assert engine.last_stats.memo_hits > 0
+
+    def test_no_hits_without_repetition(self, doc2):
+        engine = DataPoolEngine()
+        engine.evaluate("/a", doc2)
+        assert engine.last_stats.memo_hits == 0
+
+    def test_matches_naive_results_while_doing_less_work(self):
+        document = doc_flat(8)
+        query = "//a/b[count(parent::a/b[count(parent::a/b) > 1]) > 1]"
+        naive = NaiveEngine()
+        pooled = DataPoolEngine()
+        naive_nodes = naive.select(query, document)
+        pooled_nodes = pooled.select(query, document)
+        assert naive_nodes == pooled_nodes
+        assert pooled.last_stats.total_work() < naive.last_stats.total_work()
+
+
+class TestTopDownInternals:
+    def test_distinct_sources_expanded_once(self):
+        """The sharing that breaks the exponential recursion: applying a step
+        to the same context node twice must not double the step count."""
+        document = doc_flat(6)
+        engine = TopDownEngine()
+        engine.evaluate("//b/parent::a/b/parent::a/b", document)
+        # parent::a from 6 b's is a single node; each of the 5 steps is applied
+        # to at most |dom| distinct sources.
+        assert engine.last_stats.location_step_applications <= 5 * len(document)
+
+    def test_vector_length_matches_contexts(self, figure8):
+        from repro.engines.topdown import _VectorEvaluator
+
+        evaluator = _VectorEvaluator(StaticContext(figure8), EvaluationStats())
+        contexts = [Context(node, 1, 1) for node in figure8.dom[:5]]
+        values = evaluator.eval_expression(compile_query("count(child::*)"), contexts)
+        assert len(values) == 5
+
+    def test_predicate_contexts_are_deduplicated(self, figure8):
+        engine = TopDownEngine()
+        engine.evaluate("//*[position() = 1]", figure8)
+        first = engine.last_stats.expression_evaluations
+        engine.evaluate("//*[position() = 1]", figure8)
+        assert engine.last_stats.expression_evaluations == first  # deterministic
+
+
+class TestMinContextInternals:
+    def test_outermost_path_never_builds_inner_relations(self, doc2):
+        engine = MinContextEngine()
+        engine.evaluate("//b/parent::a/b", doc2)
+        # Outermost propagation touches each step once per evaluation.
+        assert engine.last_stats.location_step_applications <= 4
+
+    def test_eval_by_cnode_only_is_idempotent(self, figure8):
+        evaluator = MinContextEvaluator(StaticContext(figure8), EvaluationStats())
+        query = compile_query("child::c = 'x'")
+        sources = {figure8.element_by_id("11")}
+        evaluator.eval_by_cnode_only(query, sources)
+        rows_before = evaluator.stats.table_rows
+        evaluator.eval_by_cnode_only(query, sources)
+        assert evaluator.stats.table_rows == rows_before
+
+    def test_eval_single_context_uses_tables_for_cn_only_expressions(self, figure8):
+        evaluator = MinContextEvaluator(StaticContext(figure8), EvaluationStats())
+        query = compile_query("count(child::*) > 1")
+        node = figure8.element_by_id("11")
+        evaluator.eval_by_cnode_only(query, {node})
+        assert evaluator.eval_single_context(query, node, 1, 1) is True
+
+    def test_position_dependent_predicates_evaluated_per_pair(self, doc2):
+        engine = MinContextEngine()
+        result = engine.select("//b[position() = last()]", doc2)
+        assert len(result) == 1
+
+    def test_scalar_query_path(self, figure8):
+        engine = MinContextEngine()
+        assert engine.evaluate("count(//c) + 1", figure8) == 4.0
+
+
+class TestOptMinContextInternals:
+    def test_backward_propagation_produces_boolean_tables(self, figure8):
+        evaluator = OptMinContextEvaluator(StaticContext(figure8), EvaluationStats())
+        query = compile_query("//*[boolean(following::d)]")
+        evaluator.run(query, Context(figure8.root, 1, 1))
+        assert evaluator.bottomup_evaluated
+        table = evaluator.tables[next(iter(evaluator.bottomup_evaluated))]
+        assert set(table.values()) <= {True, False}
+        assert len(table) == len(figure8)
+
+    def test_shape_detection_ignores_context_dependent_scalars(self, figure8):
+        evaluator = OptMinContextEvaluator(StaticContext(figure8), EvaluationStats())
+        evaluator.relevance = compute_relevance(compile_query("//*"))
+        eligible = compile_query("child::c = 'x'")
+        not_eligible = compile_query("child::c = string()")
+        assert evaluator._bottomup_shape(_first_binary(eligible)) is not None
+        assert evaluator._bottomup_shape(_first_binary(not_eligible)) is None
+
+    def test_agrees_with_mincontext_on_non_fragment_queries(self, figure8):
+        query = "//*[count(child::*) = 3]"
+        assert OptMinContextEngine().select(query, figure8) == MinContextEngine().select(
+            query, figure8
+        )
+
+    def test_propagate_through_absolute_inner_path(self, figure8):
+        query = "//*[boolean(/a/b/c)]"
+        expected = TopDownEngine().select(query, figure8)
+        assert OptMinContextEngine().select(query, figure8) == expected
+
+
+def _first_binary(expression):
+    for node in walk(expression):
+        if isinstance(node, BinaryOp):
+            return node
+    raise AssertionError("no binary operator found")
+
+
+class TestCommonHelpers:
+    def test_evaluate_context_function(self, figure8):
+        context = Context(figure8.element_by_id("14"), 2, 9)
+        assert evaluate_context_function("position", context) == 2.0
+        assert evaluate_context_function("last", context) == 9.0
+        assert evaluate_context_function("string", context) == "100"
+        assert evaluate_context_function("number", context) == 100.0
+        assert evaluate_context_function("name", context) == "d"
+        assert evaluate_context_function("local-name", context) == "d"
+        assert evaluate_context_function("namespace-uri", context) == ""
+
+    def test_filter_by_predicates_positions(self, doc2):
+        a = doc2.document_element
+        candidates = list(a.children)
+        predicate = compile_query("position() = 2")
+
+        def evaluate(expr, context):
+            return float(context.position) == 2.0
+
+        result = filter_by_predicates(candidates, Axis.CHILD, [predicate], evaluate)
+        assert result == [candidates[1]]
+
+    def test_stats_bump_and_as_dict(self):
+        stats = EvaluationStats()
+        stats.bump("custom", 3)
+        stats.bump("custom")
+        assert stats.extras["custom"] == 4
+        assert stats.as_dict()["custom"] == 4
+        assert stats.total_work() >= 4

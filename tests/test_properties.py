@@ -1,0 +1,254 @@
+"""Property-based tests (hypothesis) on core data structures and invariants.
+
+Three families of properties:
+
+* **Axis algebra** — Algorithm 3.2 (the regular-expression evaluator of
+  Table I) agrees with the direct axis functions on random documents; axes
+  and their inverses satisfy Lemma 10.1; the partition property of the
+  XPath axes (self/ancestor/descendant/preceding/following partition dom).
+* **Value conversions** — number/string/boolean conversions are total and
+  idempotent where the spec says they are.
+* **Engine agreement** — the naive and the top-down engines (plus the Core
+  XPath algebra where applicable) agree on randomly generated queries over
+  randomly generated documents.
+"""
+
+from __future__ import annotations
+
+import math
+
+from hypothesis import given, settings, strategies as st
+
+from repro.axes.algorithm32 import eval_axis
+from repro.axes.functions import axis_nodes, axis_set
+from repro.axes.regex import Axis, inverse_axis
+from repro.engines import NaiveEngine, TopDownEngine
+from repro.fragments import CoreXPathEngine, is_core_xpath
+from repro.workloads.documents import random_document
+from repro.xpath.normalize import compile_query
+from repro.xpath.values import NodeSet, format_number, to_boolean, to_number, to_string
+
+NAVIGATION_AXES = [
+    Axis.SELF,
+    Axis.CHILD,
+    Axis.PARENT,
+    Axis.DESCENDANT,
+    Axis.ANCESTOR,
+    Axis.DESCENDANT_OR_SELF,
+    Axis.ANCESTOR_OR_SELF,
+    Axis.FOLLOWING,
+    Axis.PRECEDING,
+    Axis.FOLLOWING_SIBLING,
+    Axis.PRECEDING_SIBLING,
+]
+
+documents = st.builds(
+    random_document,
+    seed=st.integers(min_value=0, max_value=10_000),
+    max_depth=st.integers(min_value=1, max_value=4),
+    max_children=st.integers(min_value=1, max_value=4),
+)
+
+
+# ----------------------------------------------------------------------
+# Axis properties
+# ----------------------------------------------------------------------
+@settings(max_examples=30, deadline=None)
+@given(documents, st.sampled_from(NAVIGATION_AXES))
+def test_algorithm32_agrees_with_direct_axes(document, axis):
+    for node in document.dom:
+        if node.is_special_child:
+            continue
+        via_regex = {n for n in eval_axis({node}, axis) if not n.is_special_child}
+        via_direct = set(axis_nodes(node, axis))
+        assert via_regex == via_direct
+
+
+@settings(max_examples=30, deadline=None)
+@given(documents, st.sampled_from(NAVIGATION_AXES))
+def test_lemma_10_1_inverse_axes(document, axis):
+    inverse = inverse_axis(axis)
+    nodes = [n for n in document.dom if not n.is_special_child]
+    for x in nodes:
+        for y in axis_nodes(x, axis):
+            assert x in set(axis_nodes(y, inverse))
+
+
+@settings(max_examples=30, deadline=None)
+@given(documents)
+def test_axis_partition_property(document):
+    """self ∪ ancestor ∪ descendant ∪ preceding ∪ following = all non-special
+    nodes, and the five sets are pairwise disjoint (a classic XPath invariant)."""
+    regular = {n for n in document.dom if not n.is_special_child}
+    for node in regular:
+        parts = [
+            set(axis_nodes(node, Axis.SELF)),
+            set(axis_nodes(node, Axis.ANCESTOR)),
+            set(axis_nodes(node, Axis.DESCENDANT)),
+            set(axis_nodes(node, Axis.PRECEDING)),
+            set(axis_nodes(node, Axis.FOLLOWING)),
+        ]
+        union: set = set()
+        total = 0
+        for part in parts:
+            union |= part
+            total += len(part)
+        assert union == regular
+        assert total == len(regular)  # pairwise disjoint
+
+
+@settings(max_examples=30, deadline=None)
+@given(documents, st.sampled_from(NAVIGATION_AXES), st.integers(min_value=0, max_value=10_000))
+def test_axis_set_is_union_of_pointwise_application(document, axis, seed):
+    import random
+
+    rng = random.Random(seed)
+    candidates = [n for n in document.dom if not n.is_special_child]
+    sample = [n for n in candidates if rng.random() < 0.4]
+    expected: set = set()
+    for node in sample:
+        expected.update(axis_nodes(node, axis))
+    assert axis_set(document, sample, axis) == expected
+
+
+@settings(max_examples=30, deadline=None)
+@given(documents)
+def test_document_order_is_a_total_order_compatible_with_descendants(document):
+    for node in document.dom:
+        for descendant in node.iter_descendants():
+            assert node.order < descendant.order
+
+
+# ----------------------------------------------------------------------
+# Value conversions
+# ----------------------------------------------------------------------
+finite_numbers = st.floats(allow_nan=False, allow_infinity=False, width=32)
+
+
+@settings(max_examples=100, deadline=None)
+@given(finite_numbers)
+def test_number_string_roundtrip(value):
+    """number(string(v)) == v for finite numbers (XPath round-trip property)."""
+    assert to_number(to_string(float(value))) == float(value)
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.text(max_size=30))
+def test_to_number_is_total_on_strings(text):
+    result = to_number(text)
+    assert isinstance(result, float)  # either a parse or NaN, never an exception
+
+
+@settings(max_examples=100, deadline=None)
+@given(st.one_of(finite_numbers, st.text(max_size=10), st.booleans()))
+def test_to_boolean_total_and_boolean_idempotent(value):
+    result = to_boolean(value if not isinstance(value, float) else float(value))
+    assert isinstance(result, bool)
+    assert to_boolean(result) == result
+
+
+@settings(max_examples=50, deadline=None)
+@given(finite_numbers)
+def test_format_number_never_uses_exponent(value):
+    rendered = format_number(float(value))
+    assert "e" not in rendered and "E" not in rendered
+
+
+def test_nan_conversions():
+    assert to_string(math.nan) == "NaN"
+    assert to_boolean(math.nan) is False
+    assert math.isnan(to_number("not a number"))
+
+
+# ----------------------------------------------------------------------
+# Random-query engine agreement
+# ----------------------------------------------------------------------
+_AXES_FOR_QUERIES = [
+    "child",
+    "descendant",
+    "parent",
+    "ancestor",
+    "following-sibling",
+    "preceding-sibling",
+    "following",
+    "preceding",
+    "descendant-or-self",
+    "self",
+]
+_TAGS = ["a", "b", "c", "*"]
+
+
+@st.composite
+def random_steps(draw, max_steps=3, allow_predicates=True):
+    count = draw(st.integers(min_value=1, max_value=max_steps))
+    steps = []
+    for _ in range(count):
+        axis = draw(st.sampled_from(_AXES_FOR_QUERIES))
+        tag = draw(st.sampled_from(_TAGS))
+        step = f"{axis}::{tag}"
+        if allow_predicates and draw(st.booleans()):
+            predicate = draw(random_predicates())
+            step += f"[{predicate}]"
+        steps.append(step)
+    return "/".join(steps)
+
+
+@st.composite
+def random_predicates(draw):
+    kind = draw(st.integers(min_value=0, max_value=5))
+    if kind == 0:
+        return draw(random_steps(max_steps=2, allow_predicates=False))
+    if kind == 1:
+        return f"position() = {draw(st.integers(min_value=1, max_value=3))}"
+    if kind == 2:
+        return "position() != last()"
+    if kind == 3:
+        return f"count({draw(random_steps(max_steps=1, allow_predicates=False))}) > " f"{draw(st.integers(min_value=0, max_value=2))}"
+    if kind == 4:
+        return f"{draw(random_steps(max_steps=1, allow_predicates=False))} = '{draw(st.sampled_from(['0', '1', '42', 'x']))}'"
+    return (
+        f"{draw(random_steps(max_steps=1, allow_predicates=False))} or "
+        f"not({draw(random_steps(max_steps=1, allow_predicates=False))})"
+    )
+
+
+@st.composite
+def random_queries(draw):
+    absolute = draw(st.booleans())
+    body = draw(random_steps())
+    prefix = "/" if absolute else ""
+    if draw(st.booleans()):
+        return f"count({prefix}{body})"
+    return f"{prefix}{body}"
+
+
+def _canonical(value):
+    if isinstance(value, NodeSet):
+        return frozenset(node.order for node in value)
+    if isinstance(value, float) and math.isnan(value):
+        return "NaN"
+    return value
+
+
+@settings(max_examples=60, deadline=None)
+@given(
+    random_queries(),
+    st.integers(min_value=0, max_value=500),
+)
+def test_naive_and_topdown_agree_on_random_queries(query, seed):
+    document = random_document(seed, max_depth=3, max_children=3)
+    naive_value = _canonical(NaiveEngine().evaluate(query, document))
+    topdown_value = _canonical(TopDownEngine().evaluate(query, document))
+    assert naive_value == topdown_value
+
+
+@settings(max_examples=60, deadline=None)
+@given(random_queries(), st.integers(min_value=0, max_value=500))
+def test_core_xpath_engine_agrees_when_applicable(query, seed):
+    expression = compile_query(query)
+    if not is_core_xpath(expression):
+        return
+    document = random_document(seed, max_depth=3, max_children=3)
+    algebra_value = _canonical(CoreXPathEngine().evaluate(query, document))
+    reference_value = _canonical(TopDownEngine().evaluate(query, document))
+    assert algebra_value == reference_value

@@ -1,0 +1,164 @@
+"""Tests for the tree builder, the serialiser and the ref relation (§10.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlmodel.builder import TreeBuilder, build_document
+from repro.xmlmodel.ids import RefRelation, deref_ids, ref_relation_for
+from repro.xmlmodel.nodes import Node, NodeType
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import escape_attribute, escape_text, serialize, serialize_node
+
+
+class TestTreeBuilder:
+    def test_simple_build(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.element("b", text="hi")
+        builder.end("a")
+        doc = builder.finish()
+        assert doc.document_element.name == "a"
+        assert doc.document_element.children[0].string_value() == "hi"
+
+    def test_mismatched_end_tag_rejected(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        with pytest.raises(XMLSyntaxError):
+            builder.end("b")
+
+    def test_unclosed_element_rejected_at_finish(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.start("b")
+        builder.end("b")
+        with pytest.raises(XMLSyntaxError):
+            builder.finish()
+
+    def test_end_without_start_rejected(self):
+        builder = TreeBuilder()
+        with pytest.raises(XMLSyntaxError):
+            builder.end("a")
+
+    def test_zero_document_elements_rejected(self):
+        builder = TreeBuilder()
+        with pytest.raises(XMLSyntaxError):
+            builder.finish()
+
+    def test_empty_text_is_ignored(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        assert builder.text("") is None
+        builder.end("a")
+        assert builder.finish().document_element.children == ()
+
+    def test_adjacent_text_nodes_merge(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.text("one")
+        builder.text("two")
+        builder.end("a")
+        doc = builder.finish()
+        assert len(doc.document_element.children) == 1
+        assert doc.document_element.string_value() == "onetwo"
+
+    def test_builder_single_use(self):
+        builder = TreeBuilder()
+        builder.start("a")
+        builder.end("a")
+        builder.finish()
+        with pytest.raises(RuntimeError):
+            builder.start("again")
+
+    def test_build_document_helper(self):
+        doc = build_document("a", {"id": "1"}, ["text", ("b", {"x": "2"}, ["inner"])])
+        assert doc.document_element.attribute_value("id") == "1"
+        assert doc.document_element.string_value() == "textinner"
+
+    def test_node_type_constraints(self):
+        text = Node(NodeType.TEXT, value="x")
+        with pytest.raises(ValueError):
+            text.append_child(Node(NodeType.TEXT, value="y"))
+        with pytest.raises(ValueError):
+            Node(NodeType.TEXT, name="named", value="x")
+
+
+class TestSerializer:
+    def test_escape_text(self):
+        assert escape_text("a < b & c > d") == "a &lt; b &amp; c &gt; d"
+
+    def test_escape_attribute(self):
+        assert escape_attribute('say "hi" & bye') == "say &quot;hi&quot; &amp; bye"
+
+    def test_roundtrip_compact(self):
+        source = '<a id="1"><b>x &amp; y</b><c/><!--note--><?pi data?></a>'
+        doc = parse_xml(source)
+        text = serialize(doc)
+        reparsed = parse_xml(text)
+        assert len(reparsed) == len(doc)
+        assert reparsed.document_element.string_value() == doc.document_element.string_value()
+
+    def test_declaration_option(self):
+        doc = parse_xml("<a/>")
+        assert serialize(doc, declaration=True).startswith("<?xml")
+
+    def test_indentation(self):
+        doc = parse_xml("<a><b><c/></b></a>")
+        pretty = serialize(doc, indent=2)
+        assert "\n  <b>" in pretty
+
+    def test_serialize_single_node(self):
+        doc = parse_xml("<a><b>x</b></a>")
+        b = doc.document_element.children[0]
+        assert serialize_node(b) == "<b>x</b>"
+
+    def test_namespace_serialisation(self):
+        doc = parse_xml('<a xmlns:p="urn:x"><p:b/></a>')
+        assert 'xmlns:p="urn:x"' in serialize(doc)
+
+
+class TestRefRelation:
+    def test_paper_example_pairs(self, idref_doc):
+        """ref = {(n1,n3),(n2,n1),(n3,n1),(n3,n2)} for the Theorem-10.7 document."""
+        relation = RefRelation(idref_doc)
+        pairs = {
+            (source.attribute_value("id"), target.attribute_value("id"))
+            for source, target in relation.pairs()
+        }
+        assert pairs == {("1", "3"), ("2", "1"), ("3", "1"), ("3", "2")}
+
+    def test_id_axis(self, idref_doc):
+        relation = RefRelation(idref_doc)
+        n2 = idref_doc.element_by_id("2")
+        result = relation.id_axis({n2})
+        assert {node.attribute_value("id") for node in result} == {"1"}
+
+    def test_id_axis_includes_descendant_references(self, idref_doc):
+        relation = RefRelation(idref_doc)
+        n1 = idref_doc.element_by_id("1")
+        # descendant-or-self of n1 covers n2 and n3, whose text references 1, 2, 3.
+        result = relation.id_axis({n1})
+        assert {node.attribute_value("id") for node in result} == {"1", "2", "3"}
+
+    def test_id_axis_inverse(self, idref_doc):
+        relation = RefRelation(idref_doc)
+        n1 = idref_doc.element_by_id("1")
+        result = relation.id_axis_inverse({n1})
+        # n2 and n3 reference 1; their ancestor-or-self closure adds n1 and the root.
+        ids = {node.attribute_value("id") for node in result if node.is_element}
+        assert ids == {"1", "2", "3"}
+
+    def test_ref_relation_cached_per_document(self, idref_doc):
+        assert ref_relation_for(idref_doc) is ref_relation_for(idref_doc)
+
+    def test_deref_ids_function(self, figure8):
+        nodes = deref_ids(figure8, "12 13")
+        assert [node.attribute_value("id") for node in nodes] == ["12", "13"]
+
+    def test_figure8_ref_relation(self, figure8):
+        """In Figure 8 the c/d text happens to mention other ids (11..24)."""
+        relation = ref_relation_for(figure8)
+        c22 = figure8.element_by_id("22")
+        targets = {node.attribute_value("id") for node in relation.referenced_from(c22)}
+        assert targets == {"11", "12"}

@@ -1,0 +1,146 @@
+"""Tests for the Document container: document order, indexes, IDs."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.xmlmodel.builder import TreeBuilder
+from repro.xmlmodel.nodes import NodeType
+from repro.xmlmodel.parser import parse_xml
+
+
+class TestDocumentOrder:
+    def test_root_is_first(self, doc4):
+        assert doc4.dom[0] is doc4.root
+        assert doc4.root.order == 0
+
+    def test_orders_are_consecutive(self, doc4):
+        orders = [node.order for node in doc4.dom]
+        assert orders == list(range(len(doc4)))
+
+    def test_document_order_is_preorder(self):
+        doc = parse_xml("<a><b><c/></b><d/></a>")
+        names = [node.name for node in doc.dom if node.is_element]
+        assert names == ["a", "b", "c", "d"]
+
+    def test_attributes_precede_children_in_document_order(self):
+        doc = parse_xml('<a x="1"><b/></a>')
+        a = doc.document_element
+        attribute = a.attribute("x")
+        child = a.children[0]
+        assert a.order < attribute.order < child.order
+
+    def test_namespaces_precede_attributes(self):
+        doc = parse_xml('<a xmlns:p="u" x="1"/>')
+        a = doc.document_element
+        assert a.namespaces[0].order < a.attributes[0].order
+
+    def test_comparison_operator_uses_order(self, doc4):
+        a = doc4.document_element
+        first_b, second_b = a.children[0], a.children[1]
+        assert first_b < second_b
+        assert not (second_b < first_b)
+
+    def test_first_in_document_order(self, doc4):
+        children = list(doc4.document_element.children)
+        assert doc4.first_in_document_order(reversed(children)) is children[0]
+
+    def test_sorted_by_document_order(self, doc4):
+        children = list(doc4.document_element.children)
+        assert doc4.sorted_by_document_order(reversed(children)) == children
+
+
+class TestSiblingLinks:
+    def test_first_child_and_next_sibling(self, doc4):
+        a = doc4.document_element
+        children = a.children
+        assert a.first_child is children[0]
+        assert children[0].next_sibling is children[1]
+        assert children[-1].next_sibling is None
+
+    def test_prev_sibling(self, doc4):
+        children = doc4.document_element.children
+        assert children[1].prev_sibling is children[0]
+        assert children[0].prev_sibling is None
+
+    def test_leaf_has_no_first_child(self, doc4):
+        leaf = doc4.document_element.children[0]
+        assert leaf.first_child is None
+
+
+class TestNodeTestIndexes:
+    def test_nodes_of_type_element(self, doc4):
+        """T(element()) of Example 4.1: the document element plus four b's."""
+        elements = doc4.nodes_of_type(NodeType.ELEMENT)
+        assert len(elements) == 5
+
+    def test_nodes_of_type_and_name(self, doc4):
+        """T(element(b)) of Example 4.1."""
+        bs = doc4.nodes_of_type_and_name(NodeType.ELEMENT, "b")
+        assert len(bs) == 4
+        assert all(node.name == "b" for node in bs)
+
+    def test_nodes_of_type_root(self, doc4):
+        assert doc4.nodes_of_type(NodeType.ROOT) == [doc4.root]
+
+    def test_text_index(self, doc_prime3):
+        texts = doc_prime3.nodes_of_type(NodeType.TEXT)
+        assert len(texts) == 3
+        assert all(node.value == "c" for node in texts)
+
+    def test_attribute_index(self, figure8):
+        attributes = figure8.nodes_of_type_and_name(NodeType.ATTRIBUTE, "id")
+        # Figure 8 has nine elements (a, two b's, three c's, three d's), each
+        # carrying an id attribute.
+        assert len(attributes) == 9
+
+
+class TestIds:
+    def test_element_by_id(self, figure8):
+        node = figure8.element_by_id("13")
+        assert node is not None
+        assert node.name == "c"
+
+    def test_element_by_id_missing(self, figure8):
+        assert figure8.element_by_id("nope") is None
+
+    def test_deref_ids_whitespace_separated(self, figure8):
+        nodes = figure8.deref_ids("14 24 nothere 14")
+        assert [node.attribute_value("id") for node in nodes] == ["14", "24"]
+
+    def test_deref_ids_returns_document_order(self, figure8):
+        nodes = figure8.deref_ids("24 11")
+        assert [node.attribute_value("id") for node in nodes] == ["11", "24"]
+
+    def test_duplicate_ids_keep_first(self):
+        doc = parse_xml('<a><b id="x">1</b><c id="x">2</c></a>')
+        assert doc.element_by_id("x").name == "b"
+
+    def test_custom_id_attribute(self):
+        builder = TreeBuilder(id_attribute="key")
+        builder.start("a", {"key": "root"})
+        builder.element("b", {"key": "child"})
+        builder.end("a")
+        doc = builder.finish()
+        assert doc.element_by_id("child").name == "b"
+
+
+class TestContainerProtocol:
+    def test_len_and_iteration(self, doc2):
+        assert len(doc2) == len(list(doc2))
+
+    def test_membership(self, doc2):
+        assert doc2.document_element in doc2
+
+    def test_dom_is_a_copy(self, doc2):
+        dom = doc2.dom
+        dom.pop()
+        assert len(doc2.dom) == len(doc2)
+
+    def test_unfrozen_document_rejects_queries(self):
+        from repro.xmlmodel.document import Document
+        from repro.xmlmodel.nodes import Node
+
+        doc = Document(Node(NodeType.ROOT))
+        with pytest.raises(RuntimeError):
+            doc.dom

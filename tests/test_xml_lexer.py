@@ -1,0 +1,152 @@
+"""Tests for the XML tokenizer (repro.xmlmodel.lexer)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlmodel.lexer import XMLLexer, XMLTokenType, resolve_references
+
+
+def tokens_of(text: str):
+    return list(XMLLexer(text).tokens())
+
+
+def kinds_of(text: str):
+    return [token.kind for token in tokens_of(text)]
+
+
+class TestBasicTokens:
+    def test_empty_input_yields_only_eof(self):
+        assert kinds_of("") == [XMLTokenType.EOF]
+
+    def test_simple_element(self):
+        kinds = kinds_of("<a>text</a>")
+        assert kinds == [
+            XMLTokenType.START_TAG,
+            XMLTokenType.TEXT,
+            XMLTokenType.END_TAG,
+            XMLTokenType.EOF,
+        ]
+
+    def test_empty_element_tag(self):
+        (token, _eof) = tokens_of("<a/>")
+        assert token.kind is XMLTokenType.EMPTY_TAG
+        assert token.name == "a"
+
+    def test_start_tag_name(self):
+        token = tokens_of("<item>")[0]
+        assert token.name == "item"
+
+    def test_end_tag_name(self):
+        token = tokens_of("</item>")[0]
+        assert token.kind is XMLTokenType.END_TAG
+        assert token.name == "item"
+
+    def test_whitespace_inside_tag_is_tolerated(self):
+        token = tokens_of("<a   id='1'   >")[0]
+        assert token.attributes == [("id", "1")]
+
+    def test_text_token_content(self):
+        token = tokens_of("<a>hello world</a>")[1]
+        assert token.data == "hello world"
+
+
+class TestAttributes:
+    def test_double_quoted_attribute(self):
+        token = tokens_of('<a href="x.html">')[0]
+        assert token.attributes == [("href", "x.html")]
+
+    def test_single_quoted_attribute(self):
+        token = tokens_of("<a href='x.html'>")[0]
+        assert token.attributes == [("href", "x.html")]
+
+    def test_multiple_attributes_preserve_order(self):
+        token = tokens_of('<a x="1" y="2" z="3">')[0]
+        assert [name for name, _ in token.attributes] == ["x", "y", "z"]
+
+    def test_attribute_entity_references_resolved(self):
+        token = tokens_of('<a title="a &amp; b">')[0]
+        assert token.attributes == [("title", "a & b")]
+
+    def test_unquoted_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens_of("<a x=1>")
+
+    def test_unterminated_attribute_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens_of('<a x="1>')
+
+
+class TestSpecialConstructs:
+    def test_comment(self):
+        token = tokens_of("<!-- hi there -->")[0]
+        assert token.kind is XMLTokenType.COMMENT
+        assert token.data == " hi there "
+
+    def test_unterminated_comment_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens_of("<!-- oops")
+
+    def test_cdata_section(self):
+        token = tokens_of("<![CDATA[<raw> & text]]>")[0]
+        assert token.kind is XMLTokenType.CDATA
+        assert token.data == "<raw> & text"
+
+    def test_processing_instruction(self):
+        token = tokens_of("<?php echo 1; ?>")[0]
+        assert token.kind is XMLTokenType.PROCESSING_INSTRUCTION
+        assert token.name == "php"
+        assert token.data == "echo 1;"
+
+    def test_xml_declaration_classified_separately(self):
+        token = tokens_of('<?xml version="1.0"?>')[0]
+        assert token.kind is XMLTokenType.DECLARATION
+
+    def test_doctype_is_skipped_as_single_token(self):
+        kinds = kinds_of("<!DOCTYPE html><a/>")
+        assert kinds[0] is XMLTokenType.DOCTYPE
+        assert kinds[1] is XMLTokenType.EMPTY_TAG
+
+
+class TestEntityResolution:
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("a &amp; b", "a & b"),
+            ("&lt;tag&gt;", "<tag>"),
+            ("&quot;q&quot;", '"q"'),
+            ("&apos;a&apos;", "'a'"),
+            ("&#65;&#66;", "AB"),
+            ("&#x41;", "A"),
+            ("no entities", "no entities"),
+        ],
+    )
+    def test_references(self, raw, expected):
+        assert resolve_references(raw) == expected
+
+    def test_unknown_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_references("&bogus;")
+
+    def test_unterminated_entity_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            resolve_references("&amp")
+
+    def test_text_entities_resolved_in_stream(self):
+        token = tokens_of("<a>x &lt; y</a>")[1]
+        assert token.data == "x < y"
+
+
+class TestPositions:
+    def test_line_and_column_tracking(self):
+        text = "<a>\n  <b/>\n</a>"
+        b_token = tokens_of(text)[2]
+        assert b_token.name == "b"
+        assert b_token.line == 2
+        assert b_token.column == 3
+
+    def test_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            tokens_of("<a x=1>")
+        assert excinfo.value.line == 1

@@ -1,0 +1,136 @@
+"""Tests for the XML parser and the resulting documents."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XMLSyntaxError
+from repro.xmlmodel.nodes import NodeType
+from repro.xmlmodel.parser import parse_xml
+
+
+class TestWellFormedDocuments:
+    def test_single_element(self):
+        doc = parse_xml("<a/>")
+        assert doc.document_element.name == "a"
+        assert len(doc) == 2  # root + a
+
+    def test_doc2_matches_paper_node_count(self):
+        """DOC(i) contains i + 1 element nodes (paper Section 2)."""
+        doc = parse_xml("<a><b/><b/></a>")
+        elements = doc.nodes_of_type(NodeType.ELEMENT)
+        assert len(elements) == 3
+
+    def test_nested_elements(self):
+        doc = parse_xml("<a><b><c/></b></a>")
+        a = doc.document_element
+        assert [child.name for child in a.children] == ["b"]
+        assert [child.name for child in a.children[0].children] == ["c"]
+
+    def test_text_nodes(self):
+        doc = parse_xml("<a>hello</a>")
+        a = doc.document_element
+        assert a.children[0].node_type is NodeType.TEXT
+        assert a.children[0].value == "hello"
+
+    def test_mixed_content_order(self):
+        doc = parse_xml("<a>one<b/>two</a>")
+        kinds = [child.node_type for child in doc.document_element.children]
+        assert kinds == [NodeType.TEXT, NodeType.ELEMENT, NodeType.TEXT]
+
+    def test_attributes(self):
+        doc = parse_xml('<a x="1" y="2"/>')
+        a = doc.document_element
+        assert a.attribute_value("x") == "1"
+        assert a.attribute_value("y") == "2"
+        assert a.attribute_value("missing") is None
+
+    def test_comments_and_pis_are_nodes(self):
+        doc = parse_xml("<a><!--note--><?pi data?></a>")
+        children = doc.document_element.children
+        assert children[0].node_type is NodeType.COMMENT
+        assert children[1].node_type is NodeType.PROCESSING_INSTRUCTION
+        assert children[1].name == "pi"
+
+    def test_cdata_becomes_text(self):
+        doc = parse_xml("<a><![CDATA[<not-a-tag>]]></a>")
+        child = doc.document_element.children[0]
+        assert child.node_type is NodeType.TEXT
+        assert child.value == "<not-a-tag>"
+
+    def test_adjacent_text_merged(self):
+        doc = parse_xml("<a>one<![CDATA[two]]>three</a>")
+        children = doc.document_element.children
+        assert len(children) == 1
+        assert children[0].value == "onetwothree"
+
+    def test_namespace_declarations_become_namespace_nodes(self):
+        doc = parse_xml('<a xmlns:x="http://example.org/x"><x:b/></a>')
+        a = doc.document_element
+        assert len(a.namespaces) == 1
+        assert a.namespaces[0].name == "x"
+        assert a.namespaces[0].value == "http://example.org/x"
+
+    def test_xml_declaration_and_doctype_ignored(self):
+        doc = parse_xml('<?xml version="1.0"?><!DOCTYPE a><a/>')
+        assert doc.document_element.name == "a"
+
+    def test_whitespace_stripping_option(self):
+        text = "<a>\n  <b/>\n  <b/>\n</a>"
+        kept = parse_xml(text)
+        stripped = parse_xml(text, strip_whitespace=True)
+        assert len(kept) > len(stripped)
+        assert len(stripped.document_element.children) == 2
+
+    def test_entity_references_in_text(self):
+        doc = parse_xml("<a>x &amp; y</a>")
+        assert doc.document_element.string_value() == "x & y"
+
+
+class TestMalformedDocuments:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "<a>",  # unclosed element
+            "<a></b>",  # mismatched end tag
+            "<a/><b/>",  # two document elements
+            "</a>",  # end tag without start
+            "<a><b></a></b>",  # crossing tags
+            "text only",  # character data outside the document element
+            '<a x="1" x="2"/>',  # duplicate attribute
+        ],
+    )
+    def test_rejected(self, text):
+        with pytest.raises(XMLSyntaxError):
+            parse_xml(text)
+
+    def test_error_reports_position(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            parse_xml("<a>\n<b x=1/></a>")
+        assert "line 2" in str(excinfo.value)
+
+
+class TestStringValues:
+    def test_element_string_value_concatenates_descendant_text(self):
+        doc = parse_xml("<a>one<b>two<c>three</c></b>four</a>")
+        assert doc.document_element.string_value() == "onetwothreefour"
+
+    def test_root_string_value(self):
+        doc = parse_xml("<a>x<b>y</b></a>")
+        assert doc.root.string_value() == "xy"
+
+    def test_attribute_string_value(self):
+        doc = parse_xml('<a name="value"/>')
+        attr = doc.document_element.attribute("name")
+        assert attr.string_value() == "value"
+
+    def test_attribute_text_not_in_element_string_value(self):
+        doc = parse_xml('<a name="hidden">shown</a>')
+        assert doc.document_element.string_value() == "shown"
+
+    def test_figure8_string_values(self, figure8):
+        """String values of the Figure-8 document match the E10 table (Example 8.1)."""
+        by_id = {node.attribute_value("id"): node for node in figure8.dom if node.is_element}
+        assert by_id["11"].string_value() == "21 2223 24100"
+        assert by_id["12"].string_value() == "21 22"
+        assert by_id["14"].string_value() == "100"

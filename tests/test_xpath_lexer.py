@@ -1,0 +1,135 @@
+"""Tests for the XPath tokenizer, including the operator disambiguation rule."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XPathSyntaxError
+from repro.xpath.lexer import TokenType, tokenize
+
+
+def kinds(text: str):
+    return [token.kind for token in tokenize(text)][:-1]  # drop EOF
+
+
+def texts(text: str):
+    return [token.text for token in tokenize(text)][:-1]
+
+
+class TestBasicTokens:
+    def test_simple_path(self):
+        assert kinds("/a/b") == [
+            TokenType.SLASH,
+            TokenType.NAME,
+            TokenType.SLASH,
+            TokenType.NAME,
+        ]
+
+    def test_double_slash(self):
+        assert kinds("//a")[0] is TokenType.DOUBLE_SLASH
+
+    def test_axis_syntax(self):
+        assert kinds("child::a") == [TokenType.NAME, TokenType.COLONCOLON, TokenType.NAME]
+
+    def test_abbreviations(self):
+        assert kinds(".") == [TokenType.DOT]
+        assert kinds("..") == [TokenType.DOTDOT]
+        assert kinds("@href") == [TokenType.AT, TokenType.NAME]
+
+    def test_number_tokens(self):
+        assert [t.text for t in tokenize("3.14")[:-1]] == ["3.14"]
+        assert tokenize("42")[0].number_value == 42.0
+        assert tokenize(".5")[0].kind is TokenType.NUMBER
+
+    def test_string_literals(self):
+        assert tokenize("'hello'")[0].text == "hello"
+        assert tokenize('"hi there"')[0].text == "hi there"
+
+    def test_unterminated_literal(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("'oops")
+
+    def test_variable_reference(self):
+        token = tokenize("$var")[0]
+        assert token.kind is TokenType.VARIABLE
+        assert token.text == "var"
+
+    def test_variable_requires_name(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("$ ")
+
+    def test_comparison_operators(self):
+        assert kinds("a != b") == [TokenType.NAME, TokenType.NEQ, TokenType.NAME]
+        assert kinds("a <= b")[1] is TokenType.LE
+        assert kinds("a >= b")[1] is TokenType.GE
+        assert kinds("a < b")[1] is TokenType.LT
+
+    def test_qname(self):
+        assert texts("ns:local") == ["ns:local"]
+        assert texts("ns:*") == ["ns:*"]
+
+    def test_unexpected_character(self):
+        with pytest.raises(XPathSyntaxError):
+            tokenize("a # b")
+
+
+class TestDisambiguation:
+    """The XPath 3.7 rule: '*' and and/or/div/mod read as operators only after
+    an operand-ending token."""
+
+    def test_star_as_wildcard_at_start(self):
+        assert kinds("*")[0] is TokenType.STAR
+
+    def test_star_as_wildcard_after_slash(self):
+        assert kinds("/*")[1] is TokenType.STAR
+
+    def test_star_as_wildcard_after_axis(self):
+        assert kinds("child::*")[2] is TokenType.STAR
+
+    def test_star_as_multiplication_after_operand(self):
+        assert kinds("2 * 3")[1] is TokenType.MULTIPLY
+        assert kinds("last() * 0.5")[3] is TokenType.MULTIPLY
+
+    def test_and_as_name_at_start(self):
+        assert kinds("and")[0] is TokenType.NAME
+
+    def test_and_as_operator_after_operand(self):
+        assert kinds("a and b")[1] is TokenType.OPERATOR_NAME
+
+    def test_div_mod_operators(self):
+        assert kinds("4 div 2")[1] is TokenType.OPERATOR_NAME
+        assert kinds("4 mod 2")[1] is TokenType.OPERATOR_NAME
+
+    def test_div_as_element_name_after_slash(self):
+        assert kinds("/div")[1] is TokenType.NAME
+
+    def test_star_after_bracket_is_wildcard(self):
+        result = kinds("a[*]")
+        assert result[2] is TokenType.STAR
+
+    def test_operator_after_rparen(self):
+        result = kinds("(a) and (b)")
+        assert TokenType.OPERATOR_NAME in result
+
+
+class TestPaperQueries:
+    """The exact query strings used in the paper tokenize cleanly."""
+
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "//a/b/parent::a/b/parent::a/b",
+            "//*[parent::a/child::* = 'c']",
+            "//a/b[count(parent::a/b) > 1]",
+            "//a//b[ancestor::a//b[ancestor::a//b]/ancestor::a//b]/ancestor::a//b",
+            "count(//b/following::b/following::b)",
+            "descendant::b/following-sibling::*[position() != last()]",
+            "/descendant::a[count(descendant::b/child::c) + position() < last()]/child::d",
+            "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]",
+            "/descendant::a/child::b[child::c/child::d or not(following::*)]",
+        ],
+    )
+    def test_tokenizes(self, query):
+        tokens = tokenize(query)
+        assert tokens[-1].kind is TokenType.EOF
+        assert len(tokens) > 3

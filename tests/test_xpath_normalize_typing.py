@@ -1,0 +1,137 @@
+"""Tests for normalisation (unabbreviated form) and static typing."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import XPathTypeError
+from repro.xpath.ast import (
+    BinaryOp,
+    ContextFunction,
+    FunctionCall,
+    LocationPath,
+    NumberLiteral,
+    walk,
+)
+from repro.xpath.normalize import compile_query, normalize
+from repro.xpath.parser import parse_xpath
+from repro.xpath.typing import check_function_call, static_type
+from repro.xpath.values import ValueType
+
+
+class TestPositionalPredicateRewrite:
+    def test_numeric_literal_predicate(self):
+        """The paper's example: //a[5] means //a[position() = 5]."""
+        query = compile_query("//a[5]")
+        predicate = query.steps[-1].predicates[0]
+        assert isinstance(predicate, BinaryOp) and predicate.op == "="
+        assert isinstance(predicate.left, ContextFunction)
+        assert predicate.left.name == "position"
+        assert isinstance(predicate.right, NumberLiteral)
+
+    def test_numeric_expression_predicate(self):
+        query = compile_query("a[last() - 1]")
+        predicate = query.steps[0].predicates[0]
+        assert isinstance(predicate, BinaryOp) and predicate.op == "="
+        assert predicate.left.name == "position"
+
+    def test_boolean_predicate_untouched(self):
+        query = compile_query("a[b]")
+        predicate = query.steps[0].predicates[0]
+        assert isinstance(predicate, LocationPath)
+
+    def test_filter_expression_predicates_rewritten(self):
+        query = compile_query("(//a)[2]")
+        predicate = query.predicates[0]
+        assert isinstance(predicate, BinaryOp)
+        assert predicate.left.name == "position"
+
+    def test_nested_predicates_rewritten(self):
+        query = compile_query("a[b[2]]")
+        outer = query.steps[0].predicates[0]
+        inner = outer.steps[0].predicates[0]
+        assert isinstance(inner, BinaryOp)
+
+
+class TestFunctionNormalisation:
+    def test_zero_arg_string_length_gets_string_argument(self):
+        query = compile_query("a[string-length() > 2]")
+        call = query.steps[0].predicates[0].left
+        assert isinstance(call, FunctionCall)
+        assert isinstance(call.args[0], ContextFunction)
+        assert call.args[0].name == "string"
+
+    def test_zero_arg_normalize_space(self):
+        query = compile_query("normalize-space()")
+        assert isinstance(query.args[0], ContextFunction)
+
+    def test_lang_rewritten_to_internal_form(self):
+        query = compile_query("a[lang('en')]")
+        call = query.steps[0].predicates[0]
+        assert isinstance(call, FunctionCall) and call.name == "__lang__"
+        assert isinstance(call.args[0], LocationPath)
+
+    def test_unknown_function_rejected(self):
+        with pytest.raises(XPathTypeError):
+            compile_query("frobnicate(3)")
+
+    def test_wrong_arity_rejected(self):
+        with pytest.raises(XPathTypeError):
+            compile_query("count()")
+        with pytest.raises(XPathTypeError):
+            compile_query("count(a, b)")
+        with pytest.raises(XPathTypeError):
+            compile_query("concat('a')")
+
+    def test_normalisation_is_pure(self):
+        original = parse_xpath("//a[5]")
+        before = original.to_xpath()
+        normalize(original)
+        assert original.to_xpath() == before
+
+    def test_compile_query_accepts_ast(self):
+        ast = parse_xpath("//a")
+        assert compile_query(ast).to_xpath() == compile_query("//a").to_xpath()
+
+    def test_normalisation_idempotent(self):
+        once = compile_query("//a[5][string-length() > 1]")
+        twice = normalize(once)
+        assert once.to_xpath() == twice.to_xpath()
+
+
+class TestStaticTyping:
+    @pytest.mark.parametrize(
+        "query, expected",
+        [
+            ("3", ValueType.NUMBER),
+            ("'x'", ValueType.STRING),
+            ("position()", ValueType.NUMBER),
+            ("string()", ValueType.STRING),
+            ("count(//a)", ValueType.NUMBER),
+            ("//a", ValueType.NODE_SET),
+            ("//a | //b", ValueType.NODE_SET),
+            ("id('x')", ValueType.NODE_SET),
+            ("id('x')/a", ValueType.NODE_SET),
+            ("(//a)[1]", ValueType.NODE_SET),
+            ("//a = 3", ValueType.BOOLEAN),
+            ("1 + 2", ValueType.NUMBER),
+            ("not(//a)", ValueType.BOOLEAN),
+            ("concat('a', 'b')", ValueType.STRING),
+            ("-(//a)", ValueType.NUMBER),
+            ("$v", ValueType.UNKNOWN),
+            ("true()", ValueType.BOOLEAN),
+        ],
+    )
+    def test_types(self, query, expected):
+        assert static_type(compile_query(query)) is expected
+
+    def test_every_subexpression_has_a_type(self):
+        query = compile_query(
+            "/descendant::a[count(descendant::b/child::c) + position() < last()]/child::d"
+        )
+        for node in walk(query):
+            assert static_type(node) in ValueType
+
+    def test_check_function_call_unknown(self):
+        with pytest.raises(XPathTypeError):
+            check_function_call(FunctionCall("bogus", []))

@@ -1,0 +1,231 @@
+"""Tests for the XPath parser: grammar coverage and abbreviation expansion."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.axes.nodetests import KindTest, NameTest
+from repro.axes.regex import Axis
+from repro.errors import XPathSyntaxError
+from repro.xpath.ast import (
+    BinaryOp,
+    ContextFunction,
+    FilterExpr,
+    FunctionCall,
+    LocationPath,
+    Negate,
+    NumberLiteral,
+    PathExpr,
+    StringLiteral,
+    UnionExpr,
+    VariableReference,
+    walk,
+)
+from repro.xpath.parser import parse_xpath
+
+
+class TestLocationPaths:
+    def test_relative_child_steps(self):
+        path = parse_xpath("a/b")
+        assert isinstance(path, LocationPath)
+        assert not path.absolute
+        assert [step.axis for step in path.steps] == [Axis.CHILD, Axis.CHILD]
+        assert [step.node_test.name for step in path.steps] == ["a", "b"]
+
+    def test_absolute_path(self):
+        path = parse_xpath("/a")
+        assert path.absolute
+        assert len(path.steps) == 1
+
+    def test_root_only(self):
+        path = parse_xpath("/")
+        assert path.absolute
+        assert path.steps == ()
+
+    def test_double_slash_expansion(self):
+        path = parse_xpath("//a")
+        assert path.absolute
+        assert path.steps[0].axis is Axis.DESCENDANT_OR_SELF
+        assert isinstance(path.steps[0].node_test, KindTest)
+        assert path.steps[1].axis is Axis.CHILD
+
+    def test_inner_double_slash_expansion(self):
+        path = parse_xpath("a//b")
+        assert [step.axis for step in path.steps] == [
+            Axis.CHILD,
+            Axis.DESCENDANT_OR_SELF,
+            Axis.CHILD,
+        ]
+
+    def test_dot_and_dotdot(self):
+        path = parse_xpath("./..")
+        assert [step.axis for step in path.steps] == [Axis.SELF, Axis.PARENT]
+        assert all(isinstance(step.node_test, KindTest) for step in path.steps)
+
+    def test_attribute_abbreviation(self):
+        path = parse_xpath("a/@href")
+        assert path.steps[1].axis is Axis.ATTRIBUTE
+        assert path.steps[1].node_test.name == "href"
+
+    def test_explicit_axes(self):
+        path = parse_xpath("ancestor-or-self::node()/following-sibling::*")
+        assert path.steps[0].axis is Axis.ANCESTOR_OR_SELF
+        assert path.steps[1].axis is Axis.FOLLOWING_SIBLING
+        assert isinstance(path.steps[1].node_test, NameTest)
+        assert path.steps[1].node_test.is_wildcard()
+
+    def test_node_type_tests(self):
+        path = parse_xpath("text()/comment()/processing-instruction('x')/node()")
+        kinds = [step.node_test.kind for step in path.steps]
+        assert kinds == ["text", "comment", "processing-instruction", "node"]
+        assert path.steps[2].node_test.target == "x"
+
+    def test_predicates_attach_to_steps(self):
+        path = parse_xpath("a[b][c]/d")
+        assert len(path.steps[0].predicates) == 2
+        assert len(path.steps[1].predicates) == 0
+
+    def test_wildcard(self):
+        path = parse_xpath("*")
+        assert path.steps[0].node_test.is_wildcard()
+
+
+class TestExpressions:
+    def test_precedence_or_and(self):
+        expr = parse_xpath("a or b and c")
+        assert isinstance(expr, BinaryOp) and expr.op == "or"
+        assert isinstance(expr.right, BinaryOp) and expr.right.op == "and"
+
+    def test_precedence_comparison_vs_arithmetic(self):
+        expr = parse_xpath("1 + 2 < 3 * 4")
+        assert expr.op == "<"
+        assert expr.left.op == "+"
+        assert expr.right.op == "*"
+
+    def test_equality_chain_left_associative(self):
+        expr = parse_xpath("1 = 2 != 3")
+        assert expr.op == "!="
+        assert expr.left.op == "="
+
+    def test_unary_minus(self):
+        expr = parse_xpath("-3 + 1")
+        assert expr.op == "+"
+        assert isinstance(expr.left, Negate)
+
+    def test_union(self):
+        expr = parse_xpath("a | b | c")
+        assert isinstance(expr, UnionExpr)
+        assert isinstance(expr.left, UnionExpr)
+
+    def test_literals(self):
+        assert isinstance(parse_xpath("'s'"), StringLiteral)
+        assert isinstance(parse_xpath("3.5"), NumberLiteral)
+        assert parse_xpath("3.5").value == 3.5
+
+    def test_variable(self):
+        expr = parse_xpath("$x + 1")
+        assert isinstance(expr.left, VariableReference)
+        assert expr.left.name == "x"
+
+    def test_function_call(self):
+        expr = parse_xpath("concat('a', 'b', 'c')")
+        assert isinstance(expr, FunctionCall)
+        assert len(expr.args) == 3
+
+    def test_context_primitives(self):
+        assert isinstance(parse_xpath("position()"), ContextFunction)
+        assert isinstance(parse_xpath("last()"), ContextFunction)
+        assert isinstance(parse_xpath("string()"), ContextFunction)
+
+    def test_zero_arg_true_false_stay_function_calls(self):
+        assert isinstance(parse_xpath("true()"), FunctionCall)
+
+    def test_parenthesised_expression(self):
+        expr = parse_xpath("(1 + 2) * 3")
+        assert expr.op == "*"
+        assert expr.left.op == "+"
+
+    def test_div_mod(self):
+        assert parse_xpath("6 div 2").op == "div"
+        assert parse_xpath("6 mod 4").op == "mod"
+
+
+class TestFilterAndPathExpressions:
+    def test_filter_expression_with_predicate(self):
+        expr = parse_xpath("(//a)[1]")
+        assert isinstance(expr, FilterExpr)
+        assert isinstance(expr.primary, LocationPath)
+
+    def test_function_call_followed_by_path(self):
+        expr = parse_xpath("id('x')/b")
+        assert isinstance(expr, PathExpr)
+        assert isinstance(expr.start, FunctionCall)
+        assert expr.path.steps[0].node_test.name == "b"
+
+    def test_filter_with_double_slash_continuation(self):
+        expr = parse_xpath("id('x')//b")
+        assert isinstance(expr, PathExpr)
+        assert expr.path.steps[0].axis is Axis.DESCENDANT_OR_SELF
+
+    def test_parenthesised_path_without_predicate_collapses(self):
+        expr = parse_xpath("(a/b)")
+        assert isinstance(expr, LocationPath)
+
+    def test_node_type_name_is_not_a_function_call(self):
+        expr = parse_xpath("text()")
+        assert isinstance(expr, LocationPath)
+        assert isinstance(expr.steps[0].node_test, KindTest)
+
+
+class TestErrors:
+    @pytest.mark.parametrize(
+        "query",
+        [
+            "",  # empty
+            "a b",  # trailing garbage
+            "a[",  # unterminated predicate
+            "child::",  # missing node test
+            "f(1,",  # unterminated call
+            "/..../",  # nonsense
+            "a/",  # dangling slash
+            "1 +",  # missing operand
+        ],
+    )
+    def test_rejected(self, query):
+        with pytest.raises(XPathSyntaxError):
+            parse_xpath(query)
+
+
+class TestPaperQueries:
+    @pytest.mark.parametrize(
+        "query, expected_steps",
+        [
+            ("//a/b", 3),
+            ("//a/b/parent::a/b", 5),
+            ("/descendant::a/child::d", 2),
+        ],
+    )
+    def test_step_counts(self, query, expected_steps):
+        path = parse_xpath(query)
+        assert isinstance(path, LocationPath)
+        assert len(path.steps) == expected_steps
+
+    def test_experiment3_query_structure(self):
+        expr = parse_xpath("//a/b[count(parent::a/b) > 1]")
+        predicate = expr.steps[-1].predicates[0]
+        assert isinstance(predicate, BinaryOp) and predicate.op == ">"
+        assert isinstance(predicate.left, FunctionCall)
+        assert predicate.left.name == "count"
+
+    def test_roundtrip_to_xpath_is_reparseable(self):
+        queries = [
+            "//a/b[count(parent::a/b) > 1]",
+            "/descendant::*/descendant::*[position() > last()*0.5 or self::* = 100]",
+            "descendant::b/following-sibling::*[position() != last()]",
+        ]
+        for query in queries:
+            ast = parse_xpath(query)
+            rendered = ast.to_xpath()
+            reparsed = parse_xpath(rendered)
+            assert type(reparsed) is type(ast)
+            assert len(list(walk(reparsed))) == len(list(walk(ast)))

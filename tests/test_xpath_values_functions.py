@@ -1,0 +1,255 @@
+"""Tests for the XPath value system and the F[[Op]] function library (Table II)."""
+
+from __future__ import annotations
+
+import math
+
+import pytest
+
+from repro.errors import XPathTypeError
+from repro.xpath.context import StaticContext
+from repro.xpath.functions import FunctionLibrary
+from repro.xpath.values import (
+    NodeSet,
+    ValueType,
+    format_number,
+    predicate_truth,
+    to_boolean,
+    to_number,
+    to_string,
+    value_type,
+)
+
+
+@pytest.fixture
+def library(figure8):
+    return FunctionLibrary(StaticContext(figure8))
+
+
+def node_set(document, *ids):
+    return NodeSet(document.element_by_id(identifier) for identifier in ids)
+
+
+class TestConversions:
+    def test_value_types(self, figure8):
+        assert value_type(1.0) is ValueType.NUMBER
+        assert value_type(True) is ValueType.BOOLEAN
+        assert value_type("x") is ValueType.STRING
+        assert value_type(NodeSet()) is ValueType.NODE_SET
+
+    def test_to_number(self):
+        assert to_number("  42 ") == 42.0
+        assert to_number("3.5") == 3.5
+        assert math.isnan(to_number("abc"))
+        assert math.isnan(to_number(""))
+        assert to_number(True) == 1.0
+        assert to_number(False) == 0.0
+
+    def test_to_number_of_node_set_uses_first_node(self, figure8):
+        nodes = node_set(figure8, "14", "24")
+        assert to_number(nodes) == 100.0
+
+    def test_to_string_of_numbers(self):
+        assert to_string(5.0) == "5"
+        assert to_string(-5.0) == "-5"
+        assert to_string(0.5) == "0.5"
+        assert to_string(float("nan")) == "NaN"
+        assert to_string(float("inf")) == "Infinity"
+        assert to_string(float("-inf")) == "-Infinity"
+        assert to_string(0.0) == "0"
+
+    def test_format_number_large_integer(self):
+        assert format_number(1e15) == "1000000000000000"
+
+    def test_to_string_of_booleans(self):
+        assert to_string(True) == "true"
+        assert to_string(False) == "false"
+
+    def test_to_string_of_node_set(self, figure8):
+        assert to_string(node_set(figure8, "24", "14")) == "100"
+        assert to_string(NodeSet()) == ""
+
+    def test_to_boolean(self, figure8):
+        assert to_boolean(1.0) is True
+        assert to_boolean(0.0) is False
+        assert to_boolean(float("nan")) is False
+        assert to_boolean("x") is True
+        assert to_boolean("") is False
+        assert to_boolean(node_set(figure8, "14")) is True
+        assert to_boolean(NodeSet()) is False
+
+    def test_predicate_truth(self):
+        assert predicate_truth(3.0, 3) is True
+        assert predicate_truth(3.0, 2) is False
+        assert predicate_truth(True, 7) is True
+        assert predicate_truth("", 1) is False
+
+
+class TestNodeSet:
+    def test_document_order_iteration(self, figure8):
+        nodes = node_set(figure8, "24", "11", "14")
+        assert [n.attribute_value("id") for n in nodes] == ["11", "14", "24"]
+
+    def test_first(self, figure8):
+        assert node_set(figure8, "23", "12").first().attribute_value("id") == "12"
+        assert NodeSet().first() is None
+
+    def test_set_algebra(self, figure8):
+        left = node_set(figure8, "11", "12")
+        right = node_set(figure8, "12", "13")
+        assert len(left | right) == 3
+        assert len(left & right) == 1
+        assert len(left - right) == 1
+
+    def test_equality_and_hash(self, figure8):
+        assert node_set(figure8, "11") == node_set(figure8, "11")
+        assert hash(node_set(figure8, "11")) == hash(node_set(figure8, "11"))
+
+    def test_contains(self, figure8):
+        nodes = node_set(figure8, "11")
+        assert figure8.element_by_id("11") in nodes
+        assert figure8.element_by_id("12") not in nodes
+
+
+class TestArithmetic:
+    def test_basic_operations(self, library):
+        assert library.binary("+", 2.0, 3.0) == 5.0
+        assert library.binary("-", 2.0, 3.0) == -1.0
+        assert library.binary("*", 2.0, 3.0) == 6.0
+        assert library.binary("div", 7.0, 2.0) == 3.5
+
+    def test_division_by_zero(self, library):
+        assert library.binary("div", 1.0, 0.0) == math.inf
+        assert library.binary("div", -1.0, 0.0) == -math.inf
+        assert math.isnan(library.binary("div", 0.0, 0.0))
+
+    def test_mod_follows_dividend_sign(self, library):
+        assert library.binary("mod", 5.0, 2.0) == 1.0
+        assert library.binary("mod", -5.0, 2.0) == -1.0
+        assert library.binary("mod", 5.0, -2.0) == 1.0
+        assert math.isnan(library.binary("mod", 5.0, 0.0))
+
+    def test_operands_converted_to_numbers(self, library):
+        assert library.binary("+", "2", True) == 3.0
+
+    def test_negate(self, library):
+        assert library.negate(3.0) == -3.0
+        assert library.negate("4") == -4.0
+
+
+class TestComparisons:
+    def test_number_comparisons(self, library):
+        assert library.binary("<", 1.0, 2.0) is True
+        assert library.binary(">=", 2.0, 2.0) is True
+        assert library.binary("!=", 1.0, 2.0) is True
+
+    def test_string_equality(self, library):
+        assert library.binary("=", "a", "a") is True
+        assert library.binary("!=", "a", "b") is True
+
+    def test_boolean_has_priority_in_equality(self, library):
+        assert library.binary("=", True, "x") is True
+        assert library.binary("=", False, "") is True
+
+    def test_number_priority_over_string(self, library):
+        assert library.binary("=", 5.0, "5") is True
+        assert library.binary("=", "5", 5.0) is True
+
+    def test_relational_converts_to_numbers(self, library):
+        assert library.binary("<", "2", "10") is True  # numeric, not lexicographic
+
+    def test_node_set_vs_string_existential(self, library, figure8):
+        nodes = node_set(figure8, "12", "14")  # "21 22", "100"
+        assert library.binary("=", nodes, "100") is True
+        assert library.binary("=", nodes, "none") is False
+        assert library.binary("!=", nodes, "100") is True  # some node differs
+
+    def test_node_set_vs_number(self, library, figure8):
+        nodes = node_set(figure8, "14", "24")  # both "100"
+        assert library.binary("=", nodes, 100.0) is True
+        assert library.binary(">", nodes, 99.0) is True
+        assert library.binary("<", nodes, 99.0) is False
+
+    def test_scalar_on_left_of_node_set(self, library, figure8):
+        nodes = node_set(figure8, "14")
+        assert library.binary("<", 99.0, nodes) is True
+        assert library.binary(">", 99.0, nodes) is False
+
+    def test_node_set_vs_node_set(self, library, figure8):
+        left = node_set(figure8, "14")  # "100"
+        right = node_set(figure8, "24", "12")  # "100", "21 22"
+        assert library.binary("=", left, right) is True
+        assert library.binary("=", left, NodeSet()) is False
+
+    def test_node_set_vs_boolean(self, library, figure8):
+        assert library.binary("=", node_set(figure8, "14"), True) is True
+        assert library.binary("=", NodeSet(), True) is False
+
+
+class TestCoreFunctions:
+    def test_count_and_sum(self, library, figure8):
+        nodes = node_set(figure8, "14", "24", "23")
+        assert library.call("count", [nodes]) == 3.0
+        # strings "100", "100", "13 14" → 100 + 100 + NaN
+        assert math.isnan(library.call("sum", [nodes]))
+        assert library.call("sum", [node_set(figure8, "14", "24")]) == 200.0
+
+    def test_count_requires_node_set(self, library):
+        with pytest.raises(XPathTypeError):
+            library.call("count", ["nope"])
+
+    def test_id_with_string(self, library, figure8):
+        result = library.call("id", ["12 24"])
+        assert [n.attribute_value("id") for n in result] == ["12", "24"]
+
+    def test_id_with_node_set(self, library, figure8):
+        # The string values of c22 ("11 12") are dereferenced as ids.
+        result = library.call("id", [node_set(figure8, "22")])
+        assert [n.attribute_value("id") for n in result] == ["11", "12"]
+
+    def test_rounding_functions(self, library):
+        assert library.call("floor", [2.7]) == 2.0
+        assert library.call("ceiling", [2.1]) == 3.0
+        assert library.call("round", [2.5]) == 3.0
+        assert library.call("round", [-2.5]) == -2.0  # ties toward +infinity
+        assert math.isnan(library.call("round", [float("nan")]))
+
+    def test_boolean_functions(self, library):
+        assert library.call("not", [False]) is True
+        assert library.call("true", []) is True
+        assert library.call("false", []) is False
+        assert library.call("boolean", ["x"]) is True
+
+    def test_string_functions(self, library):
+        assert library.call("concat", ["a", "b", 1.0]) == "ab1"
+        assert library.call("starts-with", ["hello", "he"]) is True
+        assert library.call("contains", ["hello", "ell"]) is True
+        assert library.call("substring-before", ["1999/04/01", "/"]) == "1999"
+        assert library.call("substring-after", ["1999/04/01", "/"]) == "04/01"
+        assert library.call("string-length", ["hello"]) == 5.0
+        assert library.call("normalize-space", ["  a  b \n c "]) == "a b c"
+
+    def test_substring_spec_examples(self, library):
+        assert library.call("substring", ["12345", 2.0, 3.0]) == "234"
+        assert library.call("substring", ["12345", 2.0]) == "2345"
+        assert library.call("substring", ["12345", 1.5, 2.6]) == "234"
+        assert library.call("substring", ["12345", 0.0, 3.0]) == "12"
+        assert library.call("substring", ["12345", float("nan"), 3.0]) == ""
+        assert library.call("substring", ["12345", 1.0, float("nan")]) == ""
+
+    def test_translate(self, library):
+        assert library.call("translate", ["bar", "abc", "ABC"]) == "BAr"
+        assert library.call("translate", ["--aaa--", "abc-", "ABC"]) == "AAA"
+
+    def test_name_functions(self, library, figure8):
+        nodes = node_set(figure8, "12")
+        assert library.call("name", [nodes]) == "c"
+        assert library.call("local-name", [nodes]) == "c"
+        assert library.call("namespace-uri", [nodes]) == ""
+        assert library.call("name", [NodeSet()]) == ""
+
+    def test_unknown_function_rejected(self, library):
+        from repro.errors import XPathEvaluationError
+
+        with pytest.raises(XPathEvaluationError):
+            library.call("frobnicate", [])
