@@ -1,0 +1,105 @@
+"""Micro-benchmarks for the document-order indexed axis layer.
+
+These track the axis-application fast paths introduced by
+:class:`repro.xmlmodel.index.DocumentIndex` (see DESIGN.md, "The
+document-order index layer"): ``descendant`` / ``following`` / ``preceding``
+as bisect-and-slice interval queries, and name-test steps as posting-list
+intersections.  They run on a ~10k-node wide document and a deep
+non-branching document, alongside the experiment benches, so axis-layer
+regressions show up in the perf trajectory even when the paper experiments
+(tiny documents, adversarial queries) would hide them.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_axes.py``; pass
+``--benchmark-disable`` for a smoke run (CI does).
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from conftest import run_query
+from repro.axes.functions import axis_set, axis_test_set, step_candidates
+from repro.axes.nodetests import ANY_NODE, NameTest
+from repro.axes.regex import Axis
+from repro.workloads.documents import doc_deep, doc_wide
+
+
+@pytest.fixture(scope="module")
+def wide10k():
+    """~10k regular nodes: 5000 <item n="..."> children each with a text node."""
+    return doc_wide(5000)
+
+
+@pytest.fixture(scope="module")
+def deep2k():
+    return doc_deep(2000)
+
+
+@pytest.fixture(scope="module")
+def wide_items(wide10k):
+    return [node for node in wide10k.dom if node.is_element and node.name == "item"]
+
+
+# ----------------------------------------------------------------------
+# Set-at-a-time axes (axis_set / axis_test_set)
+# ----------------------------------------------------------------------
+def test_axis_set_descendant_wide(benchmark, wide10k, wide_items):
+    sources = wide_items[::50]
+    benchmark(axis_set, wide10k, sources, Axis.DESCENDANT)
+
+
+def test_axis_set_descendant_deep(benchmark, deep2k):
+    sources = [deep2k.dom[1], deep2k.dom[500], deep2k.dom[1000]]
+    benchmark(axis_set, deep2k, sources, Axis.DESCENDANT)
+
+
+def test_axis_set_following_wide(benchmark, wide10k, wide_items):
+    mid = {wide_items[len(wide_items) // 2]}
+    benchmark(axis_set, wide10k, mid, Axis.FOLLOWING)
+
+
+def test_axis_set_preceding_wide(benchmark, wide10k, wide_items):
+    mid = {wide_items[len(wide_items) // 2]}
+    benchmark(axis_set, wide10k, mid, Axis.PRECEDING)
+
+
+def test_axis_test_set_descendant_name_wide(benchmark, wide10k):
+    benchmark(axis_test_set, wide10k, {wide10k.root}, Axis.DESCENDANT, NameTest("item"))
+
+
+def test_axis_test_set_following_name_wide(benchmark, wide10k, wide_items):
+    sources = {wide_items[10]}
+    benchmark(axis_test_set, wide10k, sources, Axis.FOLLOWING, NameTest("item"))
+
+
+# ----------------------------------------------------------------------
+# Node-at-a-time steps (step_candidates)
+# ----------------------------------------------------------------------
+def test_step_descendant_name_test_wide(benchmark, wide10k):
+    benchmark(step_candidates, wide10k.root, Axis.DESCENDANT, NameTest("item"))
+
+
+def test_step_descendant_node_test_deep(benchmark, deep2k):
+    benchmark(step_candidates, deep2k.root, Axis.DESCENDANT, ANY_NODE)
+
+
+def test_step_following_name_test_wide(benchmark, wide10k, wide_items):
+    mid = wide_items[len(wide_items) // 2]
+    benchmark(step_candidates, mid, Axis.FOLLOWING, NameTest("item"))
+
+
+def test_step_preceding_name_test_wide(benchmark, wide10k, wide_items):
+    mid = wide_items[len(wide_items) // 2]
+    benchmark(step_candidates, mid, Axis.PRECEDING, NameTest("item"))
+
+
+# ----------------------------------------------------------------------
+# Whole descendant/following-heavy queries on the ~10k-node document
+# (the acceptance benchmark for the indexed axis layer)
+# ----------------------------------------------------------------------
+def test_query_descendant_following_topdown(benchmark, wide10k):
+    benchmark(run_query, "topdown", "count(/root/item[1]/following::item)", wide10k)
+
+
+def test_query_descendant_name_corexpath(benchmark, wide10k):
+    benchmark(run_query, "corexpath", "/descendant::item/child::text()", wide10k)

@@ -10,11 +10,14 @@ from .functions import (
     NavigationIndex,
     axis_nodes,
     axis_set,
+    axis_test_set,
     inverse_axis_set,
     navigation_index,
+    proximity_order,
     proximity_sorted,
     step_candidates,
 )
+from .reference import reference_axis_nodes, reference_axis_set
 from .nodetests import (
     ANY_NAME,
     ANY_NODE,
@@ -63,6 +66,7 @@ __all__ = [
     "axis_by_name",
     "axis_nodes",
     "axis_set",
+    "axis_test_set",
     "eval_axis",
     "eval_expression",
     "firstchild",
@@ -76,6 +80,9 @@ __all__ = [
     "node_test_function",
     "primitive_pairs",
     "principal_node_type",
+    "proximity_order",
     "proximity_sorted",
+    "reference_axis_nodes",
+    "reference_axis_set",
     "step_candidates",
 ]

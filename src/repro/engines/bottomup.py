@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..axes.functions import proximity_sorted, step_candidates
+from ..axes.functions import proximity_order, step_candidates
 from ..xmlmodel.nodes import Node
 from ..xpath.ast import (
     BinaryOp,
@@ -207,7 +207,7 @@ class _TableBuilder:
             self.stats.location_step_applications += 1
             candidates = step_candidates(origin, step.axis, step.node_test)
             self.stats.axis_nodes_visited += len(candidates)
-            survivors = proximity_sorted(candidates, step.axis)
+            survivors = proximity_order(candidates, step.axis)
             for predicate, predicate_table in zip(step.predicates, predicate_tables):
                 size = len(survivors)
                 retained: list[Node] = []
@@ -216,7 +216,12 @@ class _TableBuilder:
                     if predicate_truth(value, position):
                         retained.append(node)
                 survivors = retained
-            table.set_key((origin, None, None), NodeSet(survivors))
+            # Survivors are in proximity order; flip reverse axes back so the
+            # table rows carry the document-order array view (merge algebra).
+            table.set_key(
+                (origin, None, None),
+                NodeSet.from_sorted(proximity_order(survivors, step.axis)),
+            )
         return table
 
     def _compose_steps(self, start_nodes: set[Node], steps: Sequence[Step]) -> NodeSet:
@@ -259,7 +264,7 @@ class _TableBuilder:
                     if predicate_truth(predicate_value, position):
                         retained.append(node)
                 survivors = retained
-            table.set_key(_reproject(key, relevance), NodeSet(survivors))
+            table.set_key(_reproject(key, relevance), NodeSet.from_sorted(survivors))
         return table
 
     def _path_expr_table(self, expression: PathExpr) -> ContextValueTable:

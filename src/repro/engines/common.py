@@ -10,7 +10,7 @@ from __future__ import annotations
 
 from typing import Callable, Sequence
 
-from ..axes.functions import proximity_sorted, step_candidates
+from ..axes.functions import proximity_order, step_candidates
 from ..axes.regex import Axis
 from ..xmlmodel.nodes import Node
 from ..xpath.ast import Expression, Step
@@ -96,6 +96,8 @@ def apply_step_to_node(
     stats.location_step_applications += 1
     candidates = step_candidates(node, step.axis, step.node_test)
     stats.axis_nodes_visited += len(candidates)
-    ordered = proximity_sorted(candidates, step.axis)
+    ordered = proximity_order(candidates, step.axis)
     survivors = filter_by_predicates(ordered, step.axis, step.predicates, evaluate)
-    return sorted(survivors, key=lambda n: n.order)
+    # Survivors preserve proximity order; applying proximity_order again
+    # restores document order without a sort.
+    return proximity_order(survivors, step.axis)

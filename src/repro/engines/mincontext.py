@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Optional, Sequence
 
-from ..axes.functions import axis_set, proximity_sorted, step_candidates
+from ..axes.functions import axis_test_set, proximity_order, step_candidates
 from ..xmlmodel.nodes import Node
 from ..xpath.ast import (
     BinaryOp,
@@ -160,11 +160,7 @@ class MinContextEvaluator:
 
     def _outermost_step(self, step: Step, sources: set[Node]) -> set[Node]:
         self.stats.location_step_applications += 1
-        candidates = {
-            node
-            for node in axis_set(self.document, sources, step.axis)
-            if step.node_test.matches(node, step.axis)
-        }
+        candidates = axis_test_set(self.document, sources, step.axis, step.node_test)
         self.stats.axis_nodes_visited += len(candidates)
         if not step.predicates:
             return candidates
@@ -182,7 +178,7 @@ class MinContextEvaluator:
         # Position/size matter: loop over (previous, current) context-node pairs.
         result: set[Node] = set()
         for source in sorted(sources, key=lambda n: n.order):
-            survivors = proximity_sorted(
+            survivors = proximity_order(
                 step_candidates(source, step.axis, step.node_test), step.axis
             )
             survivors = self._filter_with_positions(survivors, step.predicates)
@@ -385,11 +381,7 @@ class MinContextEvaluator:
 
     def _inner_step(self, step: Step, sources: set[Node]) -> dict[Node, set[Node]]:
         self.stats.location_step_applications += 1
-        candidates = {
-            node
-            for node in axis_set(self.document, sources, step.axis)
-            if step.node_test.matches(node, step.axis)
-        }
+        candidates = axis_test_set(self.document, sources, step.axis, step.node_test)
         self.stats.axis_nodes_visited += len(candidates)
         for predicate in step.predicates:
             self.eval_by_cnode_only(predicate, candidates)
@@ -412,7 +404,7 @@ class MinContextEvaluator:
             }
         result: dict[Node, set[Node]] = {}
         for source in sources:
-            survivors = proximity_sorted(
+            survivors = proximity_order(
                 step_candidates(source, step.axis, step.node_test), step.axis
             )
             if step.predicates:

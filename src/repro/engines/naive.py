@@ -118,7 +118,7 @@ class _Evaluation:
             primary = self.evaluate(expression.primary, context)
             if not isinstance(primary, NodeSet):
                 raise TypeError("predicates may only be applied to node sets")
-            return NodeSet(self._filter_nodes(primary, expression.predicates))
+            return NodeSet.from_sorted(self._filter_nodes(primary, expression.predicates))
         if isinstance(expression, PathExpr):
             start_value = self.evaluate(expression.start, context)
             if not isinstance(start_value, NodeSet):
@@ -151,8 +151,12 @@ class _Evaluation:
             result.update(self._process_steps(steps, index + 1, next_node))
         return result
 
-    def _filter_nodes(self, nodes: NodeSet, predicates: Sequence[Expression]) -> set[Node]:
-        """Predicates of a filter expression use document order positions."""
+    def _filter_nodes(self, nodes: NodeSet, predicates: Sequence[Expression]) -> list[Node]:
+        """Predicates of a filter expression use document order positions.
+
+        Returns the surviving nodes in document order (distinct by
+        construction), ready for :meth:`NodeSet.from_sorted`.
+        """
         survivors = list(nodes.in_document_order())
         for predicate in predicates:
             size = len(survivors)
@@ -162,4 +166,4 @@ class _Evaluation:
                 if predicate_truth(value, position):
                     retained.append(node)
             survivors = retained
-        return set(survivors)
+        return survivors

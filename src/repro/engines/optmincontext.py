@@ -23,7 +23,7 @@ from __future__ import annotations
 
 from typing import Optional
 
-from ..axes.functions import inverse_axis_set, proximity_sorted, step_candidates
+from ..axes.functions import inverse_axis_set, proximity_order, step_candidates
 from ..xmlmodel.nodes import Node
 from ..xpath.ast import (
     BinaryOp,
@@ -202,7 +202,7 @@ class OptMinContextEvaluator(MinContextEvaluator):
         origins = inverse_axis_set(self.document, filtered, step.axis)
         result: set[Node] = set()
         for origin in sorted(origins, key=lambda n: n.order):
-            survivors = proximity_sorted(
+            survivors = proximity_order(
                 step_candidates(origin, step.axis, step.node_test), step.axis
             )
             survivors = self._filter_with_positions(survivors, step.predicates)

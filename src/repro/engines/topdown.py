@@ -17,7 +17,7 @@ from __future__ import annotations
 
 from typing import Sequence
 
-from ..axes.functions import proximity_sorted, step_candidates
+from ..axes.functions import proximity_order, step_candidates
 from ..xmlmodel.nodes import Node
 from ..xpath.ast import (
     BinaryOp,
@@ -176,7 +176,7 @@ class _VectorEvaluator:
             self.stats.location_step_applications += 1
             candidates = step_candidates(source, step.axis, step.node_test)
             self.stats.axis_nodes_visited += len(candidates)
-            pairs[source] = proximity_sorted(candidates, step.axis)
+            pairs[source] = proximity_order(candidates, step.axis)
 
         for predicate in step.predicates:
             pairs = self._filter_pairs(predicate, pairs)

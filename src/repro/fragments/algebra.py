@@ -16,7 +16,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Optional, Union
 
-from ..axes.functions import axis_set, inverse_axis_set
+from ..axes.functions import axis_set, axis_test_set, inverse_axis_set
 from ..axes.nodetests import NodeTest
 from ..axes.regex import Axis
 from ..xmlmodel.document import Document
@@ -189,6 +189,10 @@ class AlgebraEvaluator:
 
     def evaluate(self, expression: AlgebraExpr, context_set: frozenset[Node]) -> set[Node]:
         self.operations_performed += 1
+        if isinstance(expression, Intersect):
+            fused = self._fused_axis_test(expression, context_set)
+            if fused is not None:
+                return fused
         if isinstance(expression, ContextSet):
             return set(context_set)
         if isinstance(expression, RootSet):
@@ -227,6 +231,32 @@ class AlgebraEvaluator:
             inner = self.evaluate(expression.operand, context_set)
             return self.document.dom_set if self.document.root in inner else set()
         raise TypeError(f"unknown algebra expression {expression!r}")  # pragma: no cover
+
+    def _fused_axis_test(
+        self, expression: Intersect, context_set: frozenset[Node]
+    ) -> Optional[set[Node]]:
+        """χ(S) ∩ T(t) answered from the document index's posting lists.
+
+        The compiler emits every location step as ``Intersect(AxisApply(χ, …),
+        TestSet(t))``; fusing the pair lets the interval axes intersect with a
+        bisect of the (type, name) posting list instead of materialising χ(S)
+        in full.  Both fused plan operations are still counted — the fusion
+        changes constants, not the O(|Q|) operation bound of Theorem 10.5.
+        """
+        left, right = expression.left, expression.right
+        if isinstance(left, AxisApply) and isinstance(right, TestSet):
+            apply_expr, test_expr = left, right
+        elif isinstance(right, AxisApply) and isinstance(left, TestSet):
+            apply_expr, test_expr = right, left
+        else:
+            return None
+        if test_expr.axis is not apply_expr.axis:
+            # The test's typing axis must match the applied axis for the
+            # posting-list answer to be the same as matches() filtering.
+            return None
+        self.operations_performed += 2
+        operand = self.evaluate(apply_expr.operand, context_set)
+        return axis_test_set(self.document, operand, apply_expr.axis, test_expr.test)
 
     def _string_match(self, value: str, negated: bool) -> frozenset[Node]:
         key = (value, negated)

@@ -157,8 +157,14 @@ def random_document(
     max_children: int = 4,
     tags: tuple[str, ...] = ("a", "b", "c"),
     with_text: bool = True,
+    with_namespaces: bool = False,
 ) -> Document:
-    """A seeded random document for property-based / differential tests."""
+    """A seeded random document for property-based / differential tests.
+
+    ``with_namespaces`` draws extra random numbers, so enabling it changes
+    the generated tree for a given seed; it is off by default to keep the
+    historical seed → document mapping stable.
+    """
     rng = random.Random(seed)
     builder = TreeBuilder()
 
@@ -168,6 +174,8 @@ def random_document(
         if rng.random() < 0.3:
             attributes["id"] = f"n{rng.randrange(1000)}"
         builder.start(tag, attributes)
+        if with_namespaces and rng.random() < 0.2:
+            builder.namespace(f"p{rng.randrange(4)}", f"urn:ns{rng.randrange(4)}")
         if with_text and rng.random() < 0.4:
             builder.text(str(rng.randrange(100)))
         if depth < max_depth:

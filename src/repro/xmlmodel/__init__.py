@@ -15,6 +15,7 @@ provides everything the paper assumes about XML documents:
 from .builder import TreeBuilder, build_document
 from .document import Document
 from .ids import RefRelation, deref_ids, ref_relation_for
+from .index import DocumentIndex
 from .lexer import XMLLexer, XMLToken, XMLTokenType
 from .nodes import Node, NodeType
 from .parser import parse_xml
@@ -22,6 +23,7 @@ from .serializer import serialize, serialize_node
 
 __all__ = [
     "Document",
+    "DocumentIndex",
     "Node",
     "NodeType",
     "RefRelation",

@@ -14,9 +14,15 @@ mapping each node test to the subset of ``dom`` satisfying it.  A
 
 from __future__ import annotations
 
-from typing import Iterable, Iterator, Optional
+from operator import attrgetter
+from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
 from .nodes import Node, NodeType
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .index import DocumentIndex
+
+_ORDER = attrgetter("order")
 
 
 class Document:
@@ -40,9 +46,9 @@ class Document:
         self.id_attribute = id_attribute
         self._nodes: list[Node] = []
         self._node_set: set[Node] = set()
-        self._by_type: dict[NodeType, list[Node]] = {}
-        self._by_type_and_name: dict[tuple[NodeType, str], list[Node]] = {}
         self._ids: dict[str, Node] = {}
+        self._index: Optional["DocumentIndex"] = None
+        self._ref_relation = None  # built lazily by ids.ref_relation_for
         self._frozen = False
 
     # ------------------------------------------------------------------
@@ -84,20 +90,25 @@ class Document:
         return self
 
     def _build_indexes(self) -> None:
-        by_type: dict[NodeType, list[Node]] = {t: [] for t in NodeType}
-        by_type_and_name: dict[tuple[NodeType, str], list[Node]] = {}
         ids: dict[str, Node] = {}
         for node in self._nodes:
-            by_type[node.node_type].append(node)
-            if node.name is not None:
-                by_type_and_name.setdefault((node.node_type, node.name), []).append(node)
             if node.node_type is NodeType.ELEMENT:
                 id_value = node.attribute_value(self.id_attribute)
                 if id_value is not None and id_value not in ids:
                     ids[id_value] = node
-        self._by_type = by_type
-        self._by_type_and_name = by_type_and_name
         self._ids = ids
+
+    @property
+    def index(self) -> "DocumentIndex":
+        """The per-document :class:`DocumentIndex` (order arrays, subtree
+        extents, label postings).  Built lazily on first use and owned by the
+        document, so the index cannot outlive or leak past its document."""
+        if self._index is None:
+            self._require_frozen()
+            from .index import DocumentIndex
+
+            self._index = DocumentIndex(self)
+        return self._index
 
     def _require_frozen(self) -> None:
         if not self._frozen:
@@ -144,13 +155,11 @@ class Document:
     # ------------------------------------------------------------------
     def nodes_of_type(self, node_type: NodeType) -> list[Node]:
         """T(τ()) — all nodes of the given type, in document order."""
-        self._require_frozen()
-        return list(self._by_type.get(node_type, []))
+        return self.index.nodes_of_type(node_type)
 
     def nodes_of_type_and_name(self, node_type: NodeType, name: str) -> list[Node]:
         """T(τ(n)) — all nodes of the given type carrying the given name."""
-        self._require_frozen()
-        return list(self._by_type_and_name.get((node_type, name), []))
+        return self.index.nodes_of_label(node_type, name)
 
     # ------------------------------------------------------------------
     # IDs (paper Section 4, deref_ids; Section 10.2, ref relation)
@@ -174,7 +183,7 @@ class Document:
             if node is not None and node not in seen:
                 seen.add(node)
                 result.append(node)
-        result.sort(key=lambda n: n.order)
+        result.sort(key=_ORDER)
         return result
 
     def id_map(self) -> dict[str, Node]:
@@ -195,7 +204,7 @@ class Document:
 
     def sorted_by_document_order(self, nodes: Iterable[Node]) -> list[Node]:
         """Return ``nodes`` as a list sorted by document order."""
-        return sorted(nodes, key=lambda n: n.order)
+        return sorted(nodes, key=_ORDER)
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         size = len(self._nodes) if self._frozen else "unfrozen"

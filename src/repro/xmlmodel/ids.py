@@ -113,14 +113,16 @@ class RefRelation:
         return result
 
 
-_REF_CACHE: dict[int, RefRelation] = {}
-
-
 def ref_relation_for(document: Document) -> RefRelation:
-    """Return the cached :class:`RefRelation` for ``document``."""
-    key = id(document)
-    relation = _REF_CACHE.get(key)
-    if relation is None or relation.document is not document:
+    """Return the per-document :class:`RefRelation`, building it on first use.
+
+    The relation is stored on the document itself (like the navigation
+    index), so it is garbage-collected together with its document — the old
+    module-level cache was keyed by ``id(document)`` and leaked relations for
+    every document ever queried.
+    """
+    relation = document._ref_relation
+    if relation is None:
         relation = RefRelation(document)
-        _REF_CACHE[key] = relation
+        document._ref_relation = relation
     return relation

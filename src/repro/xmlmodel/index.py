@@ -1,0 +1,217 @@
+"""Document-order index: interval queries and label postings (paper §3–§4).
+
+The paper's complexity results (Lemma 3.3's O(|dom|) set-at-a-time axes, the
+polynomial CVT engines of Sections 6–8, the O(|D|·|Q|) Core XPath algebra of
+Section 10) all assume that applying an axis is cheap.  This module turns
+document order itself into the primary data structure so that it is:
+
+* ``subtree_end`` is a flat list indexed by ``node.order``.  Because document
+  order is a preorder traversal of the child0 tree, every subtree occupies the
+  *contiguous* order interval ``[node.order, subtree_end[node.order]]`` — the
+  classic interval encoding of trees.
+* ``regular_orders`` / ``regular_nodes`` are parallel arrays of the
+  non-attribute/non-namespace nodes sorted by document order, so the typed
+  ``descendant``, ``following`` and ``preceding`` axes become
+  O(log n + output) bisect-and-slice queries instead of full-document scans.
+* an inverted label index maps ``(node_type, name)`` and ``node_type`` to
+  sorted order arrays ("posting lists"), so a name or kind test over an
+  interval is a bisect of a posting list instead of a filter over every
+  candidate.
+
+Invariants (established by :meth:`~repro.xmlmodel.document.Document.freeze`):
+
+* ``nodes[k].order == k`` for all ``k`` (orders are dense, preorder);
+* ``subtree_end[k] >= k``, and the intervals ``[k, subtree_end[k]]`` are
+  laminar: two intervals are either disjoint or one contains the other;
+* ``n.order < threshold and subtree_end[n.order] >= threshold`` holds exactly
+  for the strict ancestors of ``nodes[threshold]`` (used by ``preceding``);
+* every posting list is strictly increasing (a sub-sequence of 0..n-1).
+
+Complexities (n = |dom|, d = tree depth, k = result size):
+
+=====================================  =================================
+operation                              cost
+=====================================  =================================
+build (lazy, once per document)        O(n)
+``descendants`` / ``nodes_after``      O(log n + k)
+``nodes_with_subtree_before``          O(log n + k + d)
+``labelled_in_interval``               O(log n + k)
+``descendant_set`` (m sources)         O(m log m + log n + k)
+=====================================  =================================
+"""
+
+from __future__ import annotations
+
+from bisect import bisect_left, bisect_right
+from typing import TYPE_CHECKING, Iterable
+
+from .nodes import Node, NodeType
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from .document import Document
+
+
+class DocumentIndex:
+    """Per-document navigation index over document order.
+
+    Built lazily, once, by :attr:`Document.index`; the document must be
+    frozen.  All arrays are read-only after construction (documents are
+    immutable once frozen).
+    """
+
+    __slots__ = (
+        "document",
+        "nodes",
+        "subtree_end",
+        "regular_orders",
+        "regular_nodes",
+        "by_type",
+        "by_label",
+        "_by_type_orders",
+        "_by_label_orders",
+    )
+
+    def __init__(self, document: "Document"):
+        self.document = document
+        nodes: list[Node] = document.dom
+        self.nodes = nodes
+        size = len(nodes)
+
+        # Subtree extents: document order is a preorder over child0, so a
+        # node's extent is its last child0 child's extent (children appear in
+        # order, hence the last one reaches furthest) or its own order.
+        subtree_end = [0] * size
+        for k in range(size - 1, -1, -1):
+            node = nodes[k]
+            last = node.last_child0()
+            subtree_end[k] = k if last is None else subtree_end[last.order]
+        self.subtree_end = subtree_end
+
+        # Parallel order/node arrays of the non-special nodes, and the
+        # inverted label index (sorted posting lists, one bucket per type and
+        # per (type, name) pair).
+        regular_orders: list[int] = []
+        regular_nodes: list[Node] = []
+        by_type: dict[NodeType, list[Node]] = {t: [] for t in NodeType}
+        by_label: dict[tuple[NodeType, str], list[Node]] = {}
+        for node in nodes:
+            if not node.is_special_child:
+                regular_orders.append(node.order)
+                regular_nodes.append(node)
+            by_type[node.node_type].append(node)
+            if node.name is not None:
+                by_label.setdefault((node.node_type, node.name), []).append(node)
+        self.regular_orders = regular_orders
+        self.regular_nodes = regular_nodes
+        self.by_type = by_type
+        self.by_label = by_label
+        self._by_type_orders: dict[NodeType, list[int]] = {
+            node_type: [node.order for node in bucket]
+            for node_type, bucket in by_type.items()
+        }
+        self._by_label_orders: dict[tuple[NodeType, str], list[int]] = {
+            label: [node.order for node in bucket] for label, bucket in by_label.items()
+        }
+
+    # ------------------------------------------------------------------
+    # Interval queries over the regular (non attribute/namespace) nodes
+    # ------------------------------------------------------------------
+    def regular_interval(self, low: int, high: int) -> list[Node]:
+        """Regular nodes with ``low <= order <= high``, in document order."""
+        orders = self.regular_orders
+        return self.regular_nodes[bisect_left(orders, low) : bisect_right(orders, high)]
+
+    def descendants(self, node: Node, include_self: bool = False) -> list[Node]:
+        """Typed descendant(-or-self) of one node as an interval slice."""
+        start = node.order if include_self else node.order + 1
+        return self.regular_interval(start, self.subtree_end[node.order])
+
+    def nodes_after(self, order: int) -> list[Node]:
+        """All regular nodes with document order strictly greater than ``order``."""
+        return self.regular_nodes[bisect_right(self.regular_orders, order) :]
+
+    def nodes_with_subtree_before(self, order: int) -> list[Node]:
+        """All regular nodes whose whole subtree precedes ``order``.
+
+        The candidates are the prefix of the order array below ``order``; by
+        laminarity the only prefix nodes whose extent reaches ``order`` are
+        the strict ancestors of ``nodes[order]``, so they are subtracted in
+        O(depth) instead of testing ``subtree_end`` for every candidate.
+        """
+        prefix = self.regular_nodes[: bisect_left(self.regular_orders, order)]
+        if order >= len(self.nodes):
+            return prefix
+        ancestors = set(self.nodes[order].iter_ancestors())
+        if not ancestors:
+            return prefix
+        return [node for node in prefix if node not in ancestors]
+
+    # ------------------------------------------------------------------
+    # Label postings (the function T of Section 4, as sorted order arrays)
+    # ------------------------------------------------------------------
+    def nodes_of_type(self, node_type: NodeType) -> list[Node]:
+        """T(τ()) — all nodes of the given type, in document order.
+
+        Returns a copy; the internal posting lists must stay untouched (the
+        parallel order arrays would silently desynchronise otherwise).
+        """
+        return list(self.by_type[node_type])
+
+    def nodes_of_label(self, node_type: NodeType, name: str) -> list[Node]:
+        """T(τ(n)) — all nodes of the given type carrying the given name.
+
+        Returns a copy, like :meth:`nodes_of_type`.
+        """
+        return list(self.by_label.get((node_type, name), ()))
+
+    def typed_in_interval(self, node_type: NodeType, low: int, high: int) -> list[Node]:
+        """Posting-list slice: nodes of ``node_type`` with order in [low, high]."""
+        orders = self._by_type_orders[node_type]
+        bucket = self.by_type[node_type]
+        return bucket[bisect_left(orders, low) : bisect_right(orders, high)]
+
+    def labelled_in_interval(
+        self, node_type: NodeType, name: str, low: int, high: int
+    ) -> list[Node]:
+        """Posting-list slice: ``(node_type, name)`` nodes with order in [low, high]."""
+        orders = self._by_label_orders.get((node_type, name))
+        if orders is None:
+            return []
+        bucket = self.by_label[(node_type, name)]
+        return bucket[bisect_left(orders, low) : bisect_right(orders, high)]
+
+    # ------------------------------------------------------------------
+    # Set-at-a-time building blocks
+    # ------------------------------------------------------------------
+    def merged_subtree_intervals(
+        self, sources: Iterable[Node], include_self: bool
+    ) -> list[tuple[int, int]]:
+        """Disjoint, sorted order intervals covering the sources' subtrees.
+
+        A source whose order falls inside an earlier interval is skipped —
+        by laminarity its whole subtree is already covered (this is the
+        working replacement for the dead "already covered" shortcut the old
+        ``_descendant_set`` attempted over arbitrary set iteration order).
+        """
+        intervals: list[tuple[int, int]] = []
+        current_end = -1
+        for order in sorted(node.order for node in sources):
+            if order <= current_end:
+                continue
+            current_end = self.subtree_end[order]
+            start = order if include_self else order + 1
+            if start <= current_end:
+                intervals.append((start, current_end))
+        return intervals
+
+    def descendant_nodes(self, sources: Iterable[Node], include_self: bool) -> list[Node]:
+        """Typed descendant(-or-self) of a node set, in document order.
+
+        ``include_self`` keeps a source only when it is a regular node (the
+        Section 4 typing rule removes attribute/namespace nodes from every
+        axis result except ``attribute``/``namespace`` themselves).
+        """
+        result: list[Node] = []
+        for start, end in self.merged_subtree_intervals(sources, include_self):
+            result.extend(self.regular_interval(start, end))
+        return result

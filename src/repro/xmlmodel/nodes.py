@@ -151,6 +151,17 @@ class Node:
         """
         return tuple(self._namespaces) + tuple(self._attributes) + tuple(self._children)
 
+    def last_child0(self) -> Optional["Node"]:
+        """The last node of the child0 sequence (the one whose subtree ends
+        last in document order), or ``None`` for a leaf."""
+        if self._children:
+            return self._children[-1]
+        if self._attributes:
+            return self._attributes[-1]
+        if self._namespaces:
+            return self._namespaces[-1]
+        return None
+
     def attribute(self, name: str) -> Optional["Node"]:
         """Return the attribute node with the given name, or ``None``."""
         for attr in self._attributes:

@@ -16,6 +16,7 @@ from .parser import parse_xpath
 from .typing import FUNCTION_ARITIES, FUNCTION_RETURN_TYPES, static_type
 from .values import (
     NodeSet,
+    OrderSet,
     ValueType,
     XPathValue,
     format_number,
@@ -32,6 +33,7 @@ __all__ = [
     "FUNCTION_RETURN_TYPES",
     "FunctionLibrary",
     "NodeSet",
+    "OrderSet",
     "StaticContext",
     "Token",
     "TokenType",

@@ -17,9 +17,12 @@ from __future__ import annotations
 
 import enum
 import math
+from operator import attrgetter
 from typing import Iterable, Iterator, Optional, Union
 
 from ..xmlmodel.nodes import Node
+
+_ORDER = attrgetter("order")
 
 
 class ValueType(enum.Enum):
@@ -33,18 +36,192 @@ class ValueType(enum.Enum):
     UNKNOWN = "unknown"
 
 
+def merge_union(
+    left: tuple[Node, ...], right: tuple[Node, ...]
+) -> Optional[tuple[Node, ...]]:
+    """Union of two document-order node arrays as a linear merge.
+
+    Returns ``None`` when an order collision between *distinct* nodes is
+    found (operands from different documents); callers then fall back to
+    identity-set semantics.
+    """
+    if not left:
+        return right
+    if not right:
+        return left
+    result: list[Node] = []
+    i = j = 0
+    len_left, len_right = len(left), len(right)
+    while i < len_left and j < len_right:
+        a, b = left[i], right[j]
+        if a.order < b.order:
+            result.append(a)
+            i += 1
+        elif b.order < a.order:
+            result.append(b)
+            j += 1
+        elif a is b:
+            result.append(a)
+            i += 1
+            j += 1
+        else:
+            return None
+    result.extend(left[i:])
+    result.extend(right[j:])
+    return tuple(result)
+
+
+def merge_intersection(
+    left: tuple[Node, ...], right: tuple[Node, ...]
+) -> Optional[tuple[Node, ...]]:
+    """Intersection of two document-order node arrays as a linear merge.
+
+    Returns ``None`` on a cross-document order collision (see merge_union).
+    """
+    result: list[Node] = []
+    i = j = 0
+    len_left, len_right = len(left), len(right)
+    while i < len_left and j < len_right:
+        a, b = left[i], right[j]
+        if a.order < b.order:
+            i += 1
+        elif b.order < a.order:
+            j += 1
+        elif a is b:
+            result.append(a)
+            i += 1
+            j += 1
+        else:
+            return None
+    return tuple(result)
+
+
+def merge_difference(
+    left: tuple[Node, ...], right: tuple[Node, ...]
+) -> Optional[tuple[Node, ...]]:
+    """Difference of two document-order node arrays as a linear merge.
+
+    Returns ``None`` on a cross-document order collision (see merge_union).
+    """
+    if not right:
+        return left
+    result: list[Node] = []
+    i = j = 0
+    len_left, len_right = len(left), len(right)
+    while i < len_left:
+        a = left[i]
+        while j < len_right and right[j].order < a.order:
+            j += 1
+        if j >= len_right:
+            result.extend(left[i:])
+            break
+        if right[j].order != a.order:
+            result.append(a)
+        elif right[j] is not a:
+            return None
+        i += 1
+    return tuple(result)
+
+
+class OrderSet:
+    """A node set represented as a sorted document-order array.
+
+    Within one document the ``order`` integers are unique, so document order
+    is a total order and a sorted array of distinct nodes is a canonical set
+    representation: union, intersection and difference are linear merges and
+    iteration in document order is free.  This is the representation backing
+    :class:`NodeSet` whenever the nodes' order is already known.
+    """
+
+    __slots__ = ("nodes",)
+
+    def __init__(self, nodes: Iterable[Node] = (), *, presorted: bool = False):
+        if presorted:
+            self.nodes: tuple[Node, ...] = tuple(nodes)
+        else:
+            self.nodes = tuple(sorted(set(nodes), key=_ORDER))
+
+    def union(self, other: "OrderSet") -> "OrderSet":
+        merged = merge_union(self.nodes, other.nodes)
+        if merged is None:
+            return OrderSet(set(self.nodes) | set(other.nodes))
+        return OrderSet(merged, presorted=True)
+
+    def intersection(self, other: "OrderSet") -> "OrderSet":
+        merged = merge_intersection(self.nodes, other.nodes)
+        if merged is None:
+            return OrderSet(set(self.nodes) & set(other.nodes))
+        return OrderSet(merged, presorted=True)
+
+    def difference(self, other: "OrderSet") -> "OrderSet":
+        merged = merge_difference(self.nodes, other.nodes)
+        if merged is None:
+            return OrderSet(set(self.nodes) - set(other.nodes))
+        return OrderSet(merged, presorted=True)
+
+    __or__ = union
+    __and__ = intersection
+    __sub__ = difference
+
+    def __iter__(self) -> Iterator[Node]:
+        return iter(self.nodes)
+
+    def __len__(self) -> int:
+        return len(self.nodes)
+
+    def __bool__(self) -> bool:
+        return bool(self.nodes)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, OrderSet):
+            return self.nodes == other.nodes
+        if isinstance(other, (set, frozenset)):
+            return frozenset(self.nodes) == other
+        return NotImplemented
+
+    def __hash__(self) -> int:
+        # Must match __eq__, which compares equal to frozensets of the same
+        # nodes — so hash the unordered view, like NodeSet does.
+        return hash(frozenset(self.nodes))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"OrderSet({list(self.nodes)!r})"
+
+
 class NodeSet:
     """An immutable set of document nodes.
 
     Iteration yields nodes in document order.  Set operations return new
     instances; the underlying nodes are shared (nodes are identity objects).
+
+    Internally a node set carries up to two views: an unordered ``frozenset``
+    (membership, equality with plain sets) and a document-order array (an
+    :class:`OrderSet`-style sorted tuple).  Either view is derived lazily
+    from the other, and the set algebra uses linear merges whenever both
+    operands already know their order — avoiding the ``sorted(set,
+    key=lambda)`` round-trips of the pre-index implementation.
     """
 
     __slots__ = ("_nodes", "_ordered")
 
     def __init__(self, nodes: Iterable[Node] = ()):
-        self._nodes: frozenset[Node] = frozenset(nodes)
-        self._ordered: Optional[tuple[Node, ...]] = None
+        if isinstance(nodes, OrderSet):
+            self._nodes: Optional[frozenset[Node]] = None
+            self._ordered: Optional[tuple[Node, ...]] = nodes.nodes
+        elif isinstance(nodes, NodeSet):
+            self._nodes = nodes._nodes
+            self._ordered = nodes._ordered
+        else:
+            self._nodes = frozenset(nodes)
+            self._ordered = None
+
+    @classmethod
+    def from_sorted(cls, nodes: Iterable[Node]) -> "NodeSet":
+        """Build a node set from nodes already distinct and in document order."""
+        result = cls.__new__(cls)
+        result._nodes = None
+        result._ordered = tuple(nodes)
+        return result
 
     # ------------------------------------------------------------------
     # Views
@@ -52,7 +229,7 @@ class NodeSet:
     def in_document_order(self) -> tuple[Node, ...]:
         """Members sorted by document order (cached)."""
         if self._ordered is None:
-            self._ordered = tuple(sorted(self._nodes, key=lambda n: n.order))
+            self._ordered = tuple(sorted(self._nodes, key=_ORDER))
         return self._ordered
 
     def first(self) -> Optional[Node]:
@@ -61,19 +238,37 @@ class NodeSet:
         return ordered[0] if ordered else None
 
     def as_set(self) -> frozenset[Node]:
+        if self._nodes is None:
+            self._nodes = frozenset(self._ordered)
         return self._nodes
 
+    def as_order_set(self) -> OrderSet:
+        """The document-order array view of this node set."""
+        return OrderSet(self.in_document_order(), presorted=True)
+
     # ------------------------------------------------------------------
-    # Set algebra
+    # Set algebra (merge-based when both operands know their order)
     # ------------------------------------------------------------------
     def union(self, other: "NodeSet") -> "NodeSet":
-        return NodeSet(self._nodes | other._nodes)
+        if self._ordered is not None and other._ordered is not None:
+            merged = merge_union(self._ordered, other._ordered)
+            if merged is not None:
+                return NodeSet.from_sorted(merged)
+        return NodeSet(self.as_set() | other.as_set())
 
     def intersection(self, other: "NodeSet") -> "NodeSet":
-        return NodeSet(self._nodes & other._nodes)
+        if self._ordered is not None and other._ordered is not None:
+            merged = merge_intersection(self._ordered, other._ordered)
+            if merged is not None:
+                return NodeSet.from_sorted(merged)
+        return NodeSet(self.as_set() & other.as_set())
 
     def difference(self, other: "NodeSet") -> "NodeSet":
-        return NodeSet(self._nodes - other._nodes)
+        if self._ordered is not None and other._ordered is not None:
+            merged = merge_difference(self._ordered, other._ordered)
+            if merged is not None:
+                return NodeSet.from_sorted(merged)
+        return NodeSet(self.as_set() - other.as_set())
 
     def __or__(self, other: "NodeSet") -> "NodeSet":
         return self.union(other)
@@ -88,26 +283,32 @@ class NodeSet:
     # Container protocol
     # ------------------------------------------------------------------
     def __len__(self) -> int:
+        if self._ordered is not None:
+            return len(self._ordered)
         return len(self._nodes)
 
     def __bool__(self) -> bool:
+        if self._ordered is not None:
+            return bool(self._ordered)
         return bool(self._nodes)
 
     def __iter__(self) -> Iterator[Node]:
         return iter(self.in_document_order())
 
     def __contains__(self, node: object) -> bool:
-        return node in self._nodes
+        return node in self.as_set()
 
     def __eq__(self, other: object) -> bool:
         if isinstance(other, NodeSet):
-            return self._nodes == other._nodes
+            if self._ordered is not None and other._ordered is not None:
+                return self._ordered == other._ordered
+            return self.as_set() == other.as_set()
         if isinstance(other, (set, frozenset)):
-            return self._nodes == frozenset(other)
+            return self.as_set() == frozenset(other)
         return NotImplemented
 
     def __hash__(self) -> int:
-        return hash(self._nodes)
+        return hash(self.as_set())
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         preview = ", ".join(repr(node) for node in list(self.in_document_order())[:4])

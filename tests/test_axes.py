@@ -223,12 +223,14 @@ class TestSetAtATimeAxes:
     def test_navigation_index_subtree_end(self, tree):
         index = navigation_index(tree)
         a = element(tree, "a")
-        assert index.subtree_end[a] == max(n.order for n in tree.dom)
+        assert index.subtree_end[a.order] == max(n.order for n in tree.dom)
         d = element(tree, "d")
-        assert index.subtree_end[d] == d.order
+        assert index.subtree_end[d.order] == d.order
 
     def test_navigation_index_cached(self, tree):
         assert navigation_index(tree) is navigation_index(tree)
+        # The index lives on the document itself, not in a module-level cache.
+        assert navigation_index(tree) is tree.index
 
     def test_following_set_matches_definition(self, tree):
         d = element(tree, "d")
