@@ -25,18 +25,34 @@ Quick start::
     doc = repro.parse("<a><b>x</b><b>y</b></a>")
     repro.select("/a/b[2]", doc)          # → [<element 'b' …>]
     repro.evaluate("count(//b)", doc)     # → 2.0
+
+    plan = repro.compile_query("//b", engine="auto")   # front end runs once
+    plan.select(doc)                                    # reuse anywhere
+
+    docs = repro.parse_collection(["<a><b/></a>", "<a/>"])
+    docs.select("//b")                    # one plan, every document
+
+Repeated string queries are served by a transparent LRU plan cache
+(:func:`repro.plan_cache`).
 """
 
 from . import api
 from .api import (
     DEFAULT_ENGINE,
     ENGINE_CLASSES,
+    BatchResult,
+    Collection,
+    CompiledQuery,
+    PlanCache,
     classify_query,
+    compile_query,
     engine_for_query,
     engine_names,
     evaluate,
     get_engine,
     parse,
+    parse_collection,
+    plan_cache,
     select,
 )
 from .errors import (
@@ -52,9 +68,13 @@ from .errors import (
 __version__ = "1.0.0"
 
 __all__ = [
+    "BatchResult",
+    "Collection",
+    "CompiledQuery",
     "DEFAULT_ENGINE",
     "ENGINE_CLASSES",
     "FragmentError",
+    "PlanCache",
     "ReproError",
     "VariableBindingError",
     "XMLSyntaxError",
@@ -64,10 +84,13 @@ __all__ = [
     "__version__",
     "api",
     "classify_query",
+    "compile_query",
     "engine_for_query",
     "engine_names",
     "evaluate",
     "get_engine",
     "parse",
+    "parse_collection",
+    "plan_cache",
     "select",
 ]

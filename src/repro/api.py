@@ -1,4 +1,4 @@
-"""Convenience API: one-call parsing, evaluation and engine selection.
+"""Convenience API: one-call parsing, evaluation, plans and batch queries.
 
 Typical usage::
 
@@ -10,15 +10,34 @@ Typical usage::
     engine = api.get_engine("corexpath")                    # explicit engine
     info = api.classify_query("//a/b[child::c]")            # Figure-1 fragment
 
+Repeated queries are served by compiled plans and the plan cache::
+
+    plan = api.compile_query("//b[. = '2']", engine="auto") # parsed once
+    plan.engine_name                                        # 'corexpath'
+    plan.select(doc)                                        # reuse per document
+
+    api.select("//b", doc)                                  # cache miss …
+    api.select("//b", doc)                                  # … then cache hits
+    api.plan_cache().stats.hits                             # ≥ 1
+    api.plan_cache().clear()
+
+Batch traffic goes through collections — one plan, many documents::
+
+    docs = api.parse_collection(["<a><b/></a>", "<a><b/><b/></a>"])
+    [len(r.nodes) for r in docs.select("//b")]              # → [1, 2]
+    reports = docs.select_many(["//b", "//a"])              # plans compiled once
+
 The default engine is :class:`~repro.engines.topdown.TopDownEngine`, the
-paper's practical polynomial algorithm; ``engine="auto"`` picks the engine
-with the best known complexity bound for the query's fragment.
+paper's practical polynomial algorithm; ``engine="auto"`` resolves — once,
+at plan-compile time — to the engine with the best known complexity bound
+for the query's fragment.
 """
 
 from __future__ import annotations
 
-from typing import Mapping, Optional, Union
+from typing import Iterable, Mapping, Optional, Sequence, Union
 
+from .collection import BatchResult, Collection
 from .engines.base import XPathEngine
 from .engines.bottomup import BottomUpEngine
 from .engines.datapool import DataPoolEngine
@@ -30,6 +49,14 @@ from .errors import XPathEvaluationError
 from .fragments.classify import Classification, classify
 from .fragments.core_xpath import CoreXPathEngine
 from .fragments.xpatterns import XPatternsEngine
+from .plan import (
+    DEFAULT_ENGINE,
+    DEFAULT_PLAN_CACHE,
+    CompiledQuery,
+    PlanCache,
+    compile_plan,
+    plan_for,
+)
 from .xmlmodel.document import Document
 from .xmlmodel.nodes import Node
 from .xmlmodel.parser import parse_xml
@@ -48,8 +75,9 @@ ENGINE_CLASSES: dict[str, type[XPathEngine]] = {
     XPatternsEngine.name: XPatternsEngine,
 }
 
-#: Name of the engine used when none is specified.
-DEFAULT_ENGINE = TopDownEngine.name
+#: Name of the engine used when none is specified (shared with the plan
+#: layer, which owns the constant to stay import-cycle free).
+assert DEFAULT_ENGINE == TopDownEngine.name
 
 
 def engine_names() -> list[str]:
@@ -78,32 +106,104 @@ def parse(text: str, *, strip_whitespace: bool = False) -> Document:
     return parse_xml(text, strip_whitespace=strip_whitespace)
 
 
+def parse_collection(
+    sources: Iterable[str],
+    *,
+    strip_whitespace: bool = False,
+    names: Optional[Sequence[str]] = None,
+) -> Collection:
+    """Parse several XML texts into a :class:`~repro.collection.Collection`.
+
+    Every document's :class:`~repro.xmlmodel.index.DocumentIndex` is built
+    once here and reused by all subsequent batch queries.
+    """
+    return Collection.from_sources(
+        sources, strip_whitespace=strip_whitespace, names=names
+    )
+
+
+def compile_query(
+    query: Union[str, object],
+    *,
+    engine: Optional[str] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+) -> CompiledQuery:
+    """Compile a query into an immutable, reusable plan.
+
+    The full front-end pipeline — parse, normalise, static typing, Figure-1
+    classification, engine selection (``engine="auto"`` resolved here, once)
+    — runs exactly once; the plan can then be evaluated any number of times
+    over any documents, by :meth:`~repro.plan.CompiledQuery.select` /
+    :meth:`~repro.plan.CompiledQuery.evaluate` or by passing it wherever a
+    query string is accepted.
+    """
+    return compile_plan(query, engine=engine, variables=variables)
+
+
+def plan_cache() -> PlanCache:
+    """The process-wide plan cache consulted by :func:`select`,
+    :func:`evaluate`, the CLI and the engines' string front door."""
+    return DEFAULT_PLAN_CACHE
+
+
 def evaluate(
-    query: str,
+    query: Union[str, CompiledQuery],
     document: Document,
     context: Optional[Union[Context, Node]] = None,
     *,
-    engine: str = DEFAULT_ENGINE,
+    engine: Optional[str] = None,
     variables: Optional[Mapping[str, XPathValue]] = None,
 ) -> XPathValue:
-    """Evaluate a query and return its XPath value (number/string/bool/node set)."""
-    chosen = engine_for_query(query) if engine == "auto" else get_engine(engine)
-    return chosen.evaluate(query, document, context, variables)
+    """Evaluate a query and return its XPath value (number/string/bool/node set).
+
+    String queries are compiled through the plan cache (for
+    :data:`DEFAULT_ENGINE` unless ``engine`` says otherwise); a prebuilt
+    :class:`~repro.plan.CompiledQuery` is used as-is — its compile-time
+    engine resolution stands unless a different engine is explicitly named.
+    """
+    plan = plan_for(query, engine=engine, variables=variables)
+    return get_engine(plan.engine_name).evaluate(plan, document, context, variables)
 
 
 def select(
-    query: str,
+    query: Union[str, CompiledQuery],
     document: Document,
     context: Optional[Union[Context, Node]] = None,
     *,
-    engine: str = DEFAULT_ENGINE,
+    engine: Optional[str] = None,
     variables: Optional[Mapping[str, XPathValue]] = None,
 ) -> list[Node]:
-    """Evaluate a node-set query and return the nodes in document order."""
-    chosen = engine_for_query(query) if engine == "auto" else get_engine(engine)
-    return chosen.select(query, document, context, variables)
+    """Evaluate a node-set query and return the nodes in document order.
+
+    Engine handling follows :func:`evaluate`: prebuilt plans keep their
+    compiled engine unless one is explicitly requested.
+    """
+    plan = plan_for(query, engine=engine, variables=variables)
+    return get_engine(plan.engine_name).select(plan, document, context, variables)
 
 
 def classify_query(query: Union[str, object]) -> Classification:
     """Classify a query into the Figure-1 fragment lattice."""
+    if isinstance(query, CompiledQuery):
+        return query.classification
     return classify(query)
+
+
+__all__ = [
+    "BatchResult",
+    "Collection",
+    "CompiledQuery",
+    "DEFAULT_ENGINE",
+    "ENGINE_CLASSES",
+    "PlanCache",
+    "classify_query",
+    "compile_query",
+    "engine_for_query",
+    "engine_names",
+    "evaluate",
+    "get_engine",
+    "parse",
+    "parse_collection",
+    "plan_cache",
+    "select",
+]

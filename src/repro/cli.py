@@ -21,8 +21,9 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .api import DEFAULT_ENGINE, classify_query, engine_for_query, engine_names, get_engine
+from .api import DEFAULT_ENGINE, engine_names, get_engine
 from .errors import ReproError
+from .plan import plan_for
 from .xmlmodel.parser import parse_xml
 from .xmlmodel.serializer import serialize_node
 from .xpath.values import NodeSet, to_string
@@ -76,22 +77,21 @@ def run(argv: Optional[Sequence[str]] = None, stdin: Optional[str] = None) -> in
             source = stdin if stdin is not None else sys.stdin.read()
         document = parse_xml(source)
 
+        # One trip through the plan pipeline (and the plan cache) serves
+        # classification, engine selection and evaluation alike.
+        requested = args.engine if args.engine is not None else DEFAULT_ENGINE
+        plan = plan_for(args.query, engine=requested)
+
         if args.classify:
-            info = classify_query(args.query)
+            info = plan.classification
             print(f"fragment:  {info.fragment.value}")
             print(f"engine:    {info.recommended_engine}")
             print(f"bound:     {info.complexity}")
             for violation in info.wadler_violations:
                 print(f"           {violation}")
 
-        if args.engine in (None, DEFAULT_ENGINE):
-            engine = get_engine(DEFAULT_ENGINE)
-        elif args.engine == "auto":
-            engine = engine_for_query(args.query)
-        else:
-            engine = get_engine(args.engine)
-
-        value = engine.evaluate(args.query, document)
+        engine = get_engine(plan.engine_name)
+        value = engine.evaluate(plan, document)
         _print_value(value, as_xml=args.xml)
 
         if args.stats and engine.last_stats is not None:

@@ -1,0 +1,236 @@
+"""Batch evaluation: one compiled plan over many documents (and vice versa).
+
+The ROADMAP's target traffic shape is *repeated queries over many
+documents*: the same handful of XPath queries evaluated against streams of
+similar documents.  A :class:`Collection` holds a fixed, ordered set of
+parsed documents — each with its frozen
+:class:`~repro.xmlmodel.index.DocumentIndex` built exactly once — and
+evaluates compiled plans across all of them:
+
+* :meth:`Collection.select` / :meth:`Collection.evaluate` — one plan, every
+  document (the plan is compiled once, through the plan cache);
+* :meth:`Collection.select_many` / :meth:`Collection.evaluate_many` — many
+  plans over the whole collection, compiling each query once.
+
+Failures are isolated per document: a query that raises on one document
+(e.g. an unbound variable met only on some documents' contexts, or a
+fragment engine rejecting at evaluation time) yields a :class:`BatchResult`
+carrying the error while every other document still produces its result.
+Result ordering is stable: results always come back in collection order,
+and node lists are in document order (the engines guarantee that).
+
+Typical usage::
+
+    from repro import api
+
+    docs = api.parse_collection(["<a><b/></a>", "<a><b/><b/></a>"])
+    for result in docs.select("//b"):
+        print(result.index, len(result.nodes))
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
+
+from .errors import ReproError
+from .xmlmodel.document import Document
+from .xmlmodel.nodes import Node
+from .xmlmodel.parser import parse_xml
+from .xpath.values import XPathValue
+
+
+@dataclass(frozen=True)
+class BatchResult:
+    """Outcome of evaluating one plan against one document of a collection."""
+
+    #: Position of the document in the collection (stable across queries).
+    index: int
+    #: Collection-assigned name of the document (defaults to ``doc[index]``).
+    name: str
+    #: The document the plan was evaluated against.
+    document: Document
+    #: Node-set result of :meth:`Collection.select` (``None`` on error or
+    #: for :meth:`Collection.evaluate`, which fills :attr:`value` instead).
+    nodes: Optional[list[Node]] = None
+    #: Scalar/value result of :meth:`Collection.evaluate` (``None`` on error).
+    value: Optional[XPathValue] = None
+    #: The per-document failure, when evaluation raised.
+    error: Optional[ReproError] = None
+
+    @property
+    def ok(self) -> bool:
+        """True when evaluation succeeded on this document."""
+        return self.error is None
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        if not self.ok:
+            return f"<BatchResult {self.name}: error {self.error}>"
+        payload = f"{len(self.nodes)} nodes" if self.nodes is not None else repr(self.value)
+        return f"<BatchResult {self.name}: {payload}>"
+
+
+class Collection:
+    """An ordered, immutable set of documents evaluated as a batch.
+
+    Construct directly from parsed documents, or from XML sources via
+    :meth:`from_sources` / :func:`repro.api.parse_collection`.  Documents
+    keep their identity (and their :class:`~repro.xmlmodel.index.DocumentIndex`)
+    for the collection's lifetime, so every query against the collection
+    reuses the indexes instead of rebuilding per call.
+    """
+
+    def __init__(
+        self,
+        documents: Iterable[Document],
+        names: Optional[Sequence[str]] = None,
+    ):
+        self._documents: tuple[Document, ...] = tuple(documents)
+        if names is None:
+            self._names: tuple[str, ...] = tuple(
+                f"doc[{index}]" for index in range(len(self._documents))
+            )
+        else:
+            names = tuple(names)
+            if len(names) != len(self._documents):
+                raise ValueError(
+                    f"{len(names)} names given for {len(self._documents)} documents"
+                )
+            self._names = names
+
+    # ------------------------------------------------------------------
+    # Construction
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_sources(
+        cls,
+        sources: Iterable[str],
+        *,
+        strip_whitespace: bool = False,
+        names: Optional[Sequence[str]] = None,
+    ) -> "Collection":
+        """Parse XML texts into a collection (indexes built once, here)."""
+        documents = [
+            parse_xml(source, strip_whitespace=strip_whitespace) for source in sources
+        ]
+        return cls(documents, names=names)
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def documents(self) -> tuple[Document, ...]:
+        return self._documents
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._documents)
+
+    def __iter__(self) -> Iterator[Document]:
+        return iter(self._documents)
+
+    def __getitem__(self, index: int) -> Document:
+        return self._documents[index]
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        query,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> list[BatchResult]:
+        """Evaluate one node-set query over every document.
+
+        The query is compiled exactly once (through the plan cache when it
+        is a string); each document is evaluated with the plan's engine and
+        errors are captured per document.  Results arrive in collection
+        order with nodes in document order.
+        """
+        plan, runner = self._plan_and_engine(query, engine, variables)
+        results: list[BatchResult] = []
+        for index, document in enumerate(self._documents):
+            try:
+                nodes = runner.select(plan, document, None, variables)
+            except ReproError as error:
+                results.append(self._failure(index, error))
+            else:
+                results.append(
+                    BatchResult(index, self._names[index], document, nodes=nodes)
+                )
+        return results
+
+    def evaluate(
+        self,
+        query,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> list[BatchResult]:
+        """Evaluate one query of any result type over every document."""
+        plan, runner = self._plan_and_engine(query, engine, variables)
+        results: list[BatchResult] = []
+        for index, document in enumerate(self._documents):
+            try:
+                value = runner.evaluate(plan, document, None, variables)
+            except ReproError as error:
+                results.append(self._failure(index, error))
+            else:
+                results.append(
+                    BatchResult(index, self._names[index], document, value=value)
+                )
+        return results
+
+    def select_many(
+        self,
+        queries: Iterable,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> list[list[BatchResult]]:
+        """Evaluate several queries over the whole collection.
+
+        Returns one result list per query, in query order — each compiled
+        once and evaluated across every document, so the cost is
+        |queries| compilations + |queries|·|documents| evaluations.
+        """
+        return [
+            self.select(query, engine=engine, variables=variables)
+            for query in queries
+        ]
+
+    def evaluate_many(
+        self,
+        queries: Iterable,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> list[list[BatchResult]]:
+        """Like :meth:`select_many`, for queries of any result type."""
+        return [
+            self.evaluate(query, engine=engine, variables=variables)
+            for query in queries
+        ]
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _plan_and_engine(self, query, engine: Optional[str], variables):
+        from .api import get_engine  # local import to avoid a cycle
+        from .plan import plan_for
+
+        plan = plan_for(query, engine=engine, variables=variables)
+        return plan, get_engine(plan.engine_name)
+
+    def _failure(self, index: int, error: ReproError) -> BatchResult:
+        return BatchResult(
+            index, self._names[index], self._documents[index], error=error
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<Collection of {len(self)} documents>"

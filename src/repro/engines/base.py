@@ -13,16 +13,20 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Mapping, Optional, Union
 
+from typing import TYPE_CHECKING
+
 from ..errors import XPathEvaluationError
 from ..xmlmodel.document import Document
 from ..xmlmodel.nodes import Node
 from ..xpath.ast import Expression
 from ..xpath.context import Context, StaticContext, root_context
 from ..xpath.functions import FunctionLibrary
-from ..xpath.normalize import compile_query
 from ..xpath.values import NodeSet, XPathValue
 
-QueryLike = Union[str, Expression]
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from ..plan import CompiledQuery
+
+QueryLike = Union[str, Expression, "CompiledQuery"]
 
 
 @dataclass
@@ -85,8 +89,11 @@ class EvaluationStats:
 class XPathEngine:
     """Common behaviour of all evaluation engines.
 
-    Subclasses implement :meth:`_evaluate`; the public methods handle query
-    compilation, default contexts, variable bindings and statistics.
+    Subclasses implement :meth:`_evaluate`, which receives a prebuilt
+    :class:`~repro.plan.CompiledQuery`; the public methods resolve whatever
+    the caller passed (string, AST or plan) through the plan pipeline —
+    strings via the default :class:`~repro.plan.PlanCache` — and handle
+    default contexts, variable bindings and statistics.
     """
 
     #: Short identifier used in benchmark output tables.
@@ -110,11 +117,13 @@ class XPathEngine:
         ``context`` defaults to ⟨root, 1, 1⟩; passing a bare node is accepted
         and wrapped into a context with position = size = 1.
         """
-        expression = compile_query(query)
+        from ..plan import plan_for  # local import to avoid a cycle
+
+        plan = plan_for(query, engine=self.name, variables=variables)
         dynamic_context = self._coerce_context(context, document)
         static_context = StaticContext(document, dict(variables or {}))
         stats = EvaluationStats()
-        value = self._evaluate(expression, static_context, dynamic_context, stats)
+        value = self._evaluate(plan, static_context, dynamic_context, stats)
         self.last_stats = stats
         return value
 
@@ -138,7 +147,7 @@ class XPathEngine:
     # ------------------------------------------------------------------
     def _evaluate(
         self,
-        expression: Expression,
+        plan: "CompiledQuery",
         static_context: StaticContext,
         context: Context,
         stats: EvaluationStats,

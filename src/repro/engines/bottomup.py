@@ -64,13 +64,16 @@ class BottomUpEngine(XPathEngine):
 
     def _evaluate(
         self,
-        expression: Expression,
+        plan,
         static_context: StaticContext,
         context: Context,
         stats: EvaluationStats,
     ) -> XPathValue:
         builder = _TableBuilder(static_context, stats)
-        table = builder.build(expression)
+        # Reuse the plan's precomputed Relev(N) analysis (identity-keyed on
+        # the plan's AST, which is exactly the tree being evaluated).
+        builder.relevance = dict(plan.relevance)
+        table = builder.build(plan.expression)
         self.last_tables = builder.store  # exposed for tests / inspection
         return table.get_context(context)
 

@@ -36,13 +36,13 @@ class DataPoolEngine(XPathEngine):
 
     def _evaluate(
         self,
-        expression: Expression,
+        plan,
         static_context: StaticContext,
         context: Context,
         stats: EvaluationStats,
     ) -> XPathValue:
         state = _MemoisedEvaluation(self, static_context, stats)
-        return state.evaluate(expression, context)
+        return state.evaluate(plan.expression, context)
 
 
 class _MemoisedEvaluation(_Evaluation):

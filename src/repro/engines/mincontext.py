@@ -55,13 +55,13 @@ class MinContextEngine(XPathEngine):
 
     def _evaluate(
         self,
-        expression: Expression,
+        plan,
         static_context: StaticContext,
         context: Context,
         stats: EvaluationStats,
     ) -> XPathValue:
         evaluator = self._make_evaluator(static_context, stats)
-        return evaluator.run(expression, context)
+        return evaluator.run(plan.expression, context, relevance=plan.relevance)
 
     def _make_evaluator(
         self, static_context: StaticContext, stats: EvaluationStats
@@ -84,8 +84,15 @@ class MinContextEvaluator:
     # ------------------------------------------------------------------
     # Algorithm 8.5
     # ------------------------------------------------------------------
-    def run(self, expression: Expression, context: Context) -> XPathValue:
-        self.relevance = compute_relevance(expression)
+    def run(
+        self,
+        expression: Expression,
+        context: Context,
+        relevance: Optional[dict] = None,
+    ) -> XPathValue:
+        # A compiled plan supplies its precomputed Relev(N); direct callers
+        # (tests, examples) fall back to computing it here.
+        self.relevance = dict(relevance) if relevance else compute_relevance(expression)
         if isinstance(expression, (LocationPath, UnionExpr, PathExpr, FilterExpr)):
             nodes = self.eval_outermost_locpath(expression, {context.node})
             return NodeSet(nodes)

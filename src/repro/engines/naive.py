@@ -54,13 +54,13 @@ class NaiveEngine(XPathEngine):
     # ------------------------------------------------------------------
     def _evaluate(
         self,
-        expression: Expression,
+        plan,
         static_context: StaticContext,
         context: Context,
         stats: EvaluationStats,
     ) -> XPathValue:
         state = _Evaluation(self, static_context, stats)
-        return state.evaluate(expression, context)
+        return state.evaluate(plan.expression, context)
 
 
 class _Evaluation:

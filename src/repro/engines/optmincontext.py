@@ -64,10 +64,18 @@ class OptMinContextEvaluator(MinContextEvaluator):
     # ------------------------------------------------------------------
     # Algorithm 11.1
     # ------------------------------------------------------------------
-    def run(self, expression: Expression, context: Context) -> XPathValue:
+    def run(
+        self,
+        expression: Expression,
+        context: Context,
+        relevance: Optional[dict] = None,
+    ) -> XPathValue:
         from .relevance import compute_relevance
 
-        self.relevance = compute_relevance(expression)
+        if relevance:
+            self.relevance = dict(relevance)
+        else:
+            self.relevance = compute_relevance(expression)
         # "Evaluate all bottom-up location paths inside Q (starting with the
         # innermost ones in case of nesting)": post-order traversal.
         for node in reversed(list(walk(expression))):
@@ -75,7 +83,7 @@ class OptMinContextEvaluator(MinContextEvaluator):
                 continue  # the outermost expression is handled by MinContext
             if self._bottomup_shape(node) is not None:
                 self.eval_bottomup_path(node)
-        return super().run(expression, context)
+        return super().run(expression, context, relevance=self.relevance)
 
     # ------------------------------------------------------------------
     # Shape detection

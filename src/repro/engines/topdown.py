@@ -48,13 +48,13 @@ class TopDownEngine(XPathEngine):
 
     def _evaluate(
         self,
-        expression: Expression,
+        plan,
         static_context: StaticContext,
         context: Context,
         stats: EvaluationStats,
     ) -> XPathValue:
         evaluator = _VectorEvaluator(static_context, stats)
-        return evaluator.eval_expression(expression, [context])[0]
+        return evaluator.eval_expression(plan.expression, [context])[0]
 
 
 class _VectorEvaluator:

@@ -56,7 +56,16 @@ class Classification:
 
 def classify(query) -> Classification:
     """Classify a query (string or AST) into the Figure-1 lattice."""
-    expression: Expression = compile_query(query)
+    return classify_normalized(compile_query(query))
+
+
+def classify_normalized(expression: Expression) -> Classification:
+    """Classify an already-normalised AST (the plan pipeline's entry point).
+
+    :func:`repro.plan.compile_plan` normalises exactly once and calls this,
+    so plan compilation never re-parses; :func:`classify` stays as the
+    convenience front end for strings and raw ASTs.
+    """
     core = is_core_xpath(expression)
     xpatterns = is_xpatterns(expression)
     wadler = is_extended_wadler(expression)

@@ -190,25 +190,27 @@ class CoreXPathEngine(XPathEngine):
 
     def _evaluate(
         self,
-        expression: Expression,
+        plan,
         static_context: StaticContext,
         context: Context,
         stats: EvaluationStats,
     ) -> XPathValue:
-        compiler = self.compiler_class()
-        if not self._accepts(expression):
+        if not self._accepts_plan(plan):
             raise FragmentError(
-                f"query is outside the {self.name} fragment: {expression.to_xpath()}"
+                f"query is outside the {self.name} fragment: {plan.to_xpath()}"
             )
-        plan = compiler.compile_query(expression)
-        stats.bump("algebra_operations", algebra_size(plan))
+        # The algebra plan is memoised on the compiled query, so repeated
+        # evaluations (plan-cache hits, Collection batches) skip compilation.
+        algebra_plan = plan.algebra_plan(self.compiler_class)
+        stats.bump("algebra_operations", algebra_size(algebra_plan))
         evaluator = AlgebraEvaluator(static_context.document)
-        result = evaluator.evaluate(plan, frozenset({context.node}))
+        result = evaluator.evaluate(algebra_plan, frozenset({context.node}))
         stats.bump("algebra_evaluations", evaluator.operations_performed)
         return NodeSet(result)
 
-    def _accepts(self, expression: Expression) -> bool:
-        return is_core_xpath(expression)
+    def _accepts_plan(self, plan) -> bool:
+        """Fragment membership, read off the plan's classification."""
+        return plan.classification.in_core_xpath
 
     def compile(self, expression: Expression) -> AlgebraExpr:
         """Expose the algebra plan (used by examples and tests)."""

@@ -239,20 +239,19 @@ class XPatternsEngine(CoreXPathEngine):
     name = "xpatterns"
     compiler_class = XPatternsCompiler
 
-    def _accepts(self, expression: Expression) -> bool:
-        return is_xpatterns(expression)
+    def _accepts_plan(self, plan) -> bool:
+        return plan.classification.in_xpatterns
 
-    def _evaluate(self, expression, static_context, context, stats):
+    def _evaluate(self, plan, static_context, context, stats):
         # Patch the algebra evaluator to understand _IdLiteral leaves.
         from ..xpath.values import NodeSet
         from .algebra import AlgebraEvaluator, algebra_size
 
-        compiler = self.compiler_class()
-        if not self._accepts(expression):
+        if not self._accepts_plan(plan):
             raise FragmentError(
-                f"query is outside the {self.name} fragment: {expression.to_xpath()}"
+                f"query is outside the {self.name} fragment: {plan.to_xpath()}"
             )
-        plan = compiler.compile_query(expression)
+        algebra_plan = plan.algebra_plan(self.compiler_class)
 
         class _Evaluator(AlgebraEvaluator):
             def evaluate(self, algebra_expression, context_set):
@@ -261,8 +260,8 @@ class XPatternsEngine(CoreXPathEngine):
                     return set(self.document.deref_ids(algebra_expression.value))
                 return super().evaluate(algebra_expression, context_set)
 
-        stats.bump("algebra_operations", algebra_size(plan))
+        stats.bump("algebra_operations", algebra_size(algebra_plan))
         evaluator = _Evaluator(static_context.document)
-        result = evaluator.evaluate(plan, frozenset({context.node}))
+        result = evaluator.evaluate(algebra_plan, frozenset({context.node}))
         stats.bump("algebra_evaluations", evaluator.operations_performed)
         return NodeSet(result)

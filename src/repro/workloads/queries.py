@@ -146,3 +146,35 @@ def antagonist_forward_query(size: int) -> str:
     if size < 1:
         raise ValueError("query size must be at least 1")
     return "//*" + "/following::*" * (size - 1)
+
+
+# ----------------------------------------------------------------------
+# Workload registry (batch / plan-cache traffic)
+# ----------------------------------------------------------------------
+def workload_queries(*, max_size: int = 2) -> list[tuple[str, str]]:
+    """One representative query per family, as ``(name, query)`` pairs.
+
+    This is the repeated-query traffic mix used by the plan-cache and
+    collection tests and benchmarks: every generator of this module at a
+    small size (``max_size`` caps the families that grow exponentially under
+    the naive engine), plus the paper's worked examples.  Deterministic,
+    stable order.
+    """
+    pairs = [
+        ("experiment1", experiment1_query(max_size)),
+        ("experiment2", experiment2_query(max_size)),
+        ("experiment3", experiment3_query(max_size)),
+        ("experiment4", experiment4_query(1)),
+        ("experiment5_following", experiment5_following_query(max_size)),
+        ("experiment5_descendant", experiment5_descendant_query(max_size)),
+        ("example_6_4", EXAMPLE_6_4_QUERY),
+        ("example_7_2", EXAMPLE_7_2_QUERY),
+        ("example_8_1", EXAMPLE_8_1_QUERY),
+        ("example_10_3", EXAMPLE_10_3_QUERY),
+        ("example_11_2", EXAMPLE_11_2_QUERY),
+        ("core_chain", core_xpath_chain_query(max_size)),
+        ("wadler_position", wadler_position_query(max_size)),
+        ("xpatterns_id", xpatterns_id_query()),
+        ("antagonist_forward", antagonist_forward_query(max_size)),
+    ]
+    return pairs

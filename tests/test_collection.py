@@ -1,0 +1,139 @@
+"""Collection batch evaluation semantics.
+
+The acceptance bar: `Collection.select` returns results identical to
+per-document `api.select` for every query of `workloads/queries.py`, across
+all engines — with per-document error isolation (a failure on one document
+must not disturb the others) and stable result ordering.
+"""
+
+import pytest
+
+from repro import api
+from repro.collection import BatchResult, Collection
+from repro.errors import ReproError, VariableBindingError
+from repro.workloads.documents import (
+    doc_deep,
+    doc_figure8,
+    doc_flat,
+    doc_flat_text,
+    doc_idref,
+)
+from repro.workloads.queries import workload_queries
+
+DOCUMENTS = {
+    "flat": doc_flat(4),
+    "flat_text": doc_flat_text(3),
+    "deep": doc_deep(3),
+    "figure8": doc_figure8(),
+    "idref": doc_idref(),
+}
+
+
+@pytest.fixture(scope="module")
+def collection():
+    return Collection(DOCUMENTS.values(), names=list(DOCUMENTS))
+
+
+class TestCollectionBasics:
+    def test_parse_collection_builds_ordered_documents(self):
+        docs = api.parse_collection(["<a><b/></a>", "<a><b/><b/></a>"])
+        assert len(docs) == 2
+        assert [len(r.nodes) for r in docs.select("//b")] == [1, 2]
+        assert docs.names == ("doc[0]", "doc[1]")
+
+    def test_names_must_match_documents(self):
+        with pytest.raises(ValueError):
+            Collection([doc_flat(1)], names=["a", "b"])
+
+    def test_results_arrive_in_collection_order(self, collection):
+        results = collection.select("//b")
+        assert [r.index for r in results] == list(range(len(collection)))
+        assert [r.name for r in results] == list(DOCUMENTS)
+        assert [r.document for r in results] == list(collection.documents)
+
+    def test_nodes_in_document_order(self, collection):
+        for result in collection.select("//*"):
+            assert result.ok
+            orders = [node.order for node in result.nodes]
+            assert orders == sorted(orders)
+
+    def test_evaluate_returns_values(self, collection):
+        results = collection.evaluate("count(//b)")
+        assert all(r.ok for r in results)
+        assert results[0].value == 4.0  # doc_flat(4)
+
+    def test_select_many_compiles_each_query_once(self, collection):
+        cache = api.plan_cache()
+        cache.clear()
+        reports = collection.select_many(["//b", "//a"])
+        assert len(reports) == 2
+        assert all(len(report) == len(collection) for report in reports)
+        # two compilations total, not two per document
+        assert cache.stats.misses == 2
+
+    def test_evaluate_many_orders_by_query(self, collection):
+        reports = collection.evaluate_many(["count(//b)", "count(//a)"])
+        assert reports[0][0].value == 4.0
+        assert reports[1][0].value == 1.0
+
+    def test_compiled_plan_is_accepted_directly(self, collection):
+        plan = api.compile_query("//b", engine="auto")
+        results = collection.select(plan)
+        assert [len(r.nodes) for r in results] == [
+            len(api.select("//b", document)) for document in collection
+        ]
+
+
+class TestErrorIsolation:
+    def test_unbound_variable_is_isolated_per_document(self, collection):
+        # The predicate only evaluates where b-nodes exist, so exactly the
+        # documents containing a b fail — and the others still succeed.
+        results = collection.select("//b[$missing]")
+        has_b = [len(api.select("//b", d)) > 0 for d in collection.documents]
+        assert [not r.ok for r in results] == has_b
+        assert any(not r.ok for r in results) and any(r.ok for r in results)
+        for result in results:
+            if not result.ok:
+                assert isinstance(result.error, VariableBindingError)
+                assert result.nodes is None
+
+    def test_fragment_rejection_does_not_break_batch(self, collection):
+        # id() queries are XPatterns, not Core XPath: the corexpath engine
+        # rejects them per document while the batch itself completes.
+        results = collection.select("id('bk1')/child::title", engine="corexpath")
+        assert len(results) == len(collection)
+        assert all(not r.ok for r in results)
+
+    def test_partial_failure_keeps_other_documents(self):
+        # A scalar query through select(): fails everywhere with the node-set
+        # type error, but as isolated BatchResults, not one batch exception.
+        docs = api.parse_collection(["<a/>", "<a><b/></a>"])
+        results = docs.select("count(//b)")
+        assert [r.ok for r in results] == [False, False]
+        ok = docs.select("//b")
+        assert [len(r.nodes) for r in ok] == [0, 1]
+
+    def test_batch_result_repr_fields(self, collection):
+        result = collection.select("//b")[0]
+        assert isinstance(result, BatchResult)
+        assert result.ok and result.error is None
+
+
+class TestCollectionMatchesPerDocumentApi:
+    """Acceptance: batch results ≡ per-document api.select, all engines."""
+
+    @pytest.mark.parametrize("engine", sorted(api.ENGINE_CLASSES))
+    def test_workload_queries_identical_across_engines(self, collection, engine):
+        for name, query in workload_queries():
+            batch = collection.select(query, engine=engine)
+            for result, document in zip(batch, collection.documents):
+                try:
+                    expected = api.select(query, document, engine=engine)
+                except ReproError as error:
+                    assert not result.ok, f"{name} on {result.name} ({engine})"
+                    assert type(result.error) is type(error)
+                else:
+                    assert result.ok, f"{name} on {result.name} ({engine}): {result.error}"
+                    assert [n.order for n in result.nodes] == [
+                        n.order for n in expected
+                    ], f"{name} on {result.name} ({engine})"

@@ -1,0 +1,251 @@
+"""Unit tests for the CVT machinery internals.
+
+`engines/cvt.py` (ContextValueTable, TableStore) and `engines/relevance.py`
+(Relev(N) analysis, key projection, domain enumeration) previously had no
+dedicated test file — they were exercised only through the engines.  These
+tests pin down the paper-facing invariants directly: table population and
+lookup under relevance projection, recovery of the full context-value
+relation from the projected rows (Section 8 / footnote 8), and the Relev(N)
+base and compound cases of Section 8.2.
+"""
+
+import pytest
+
+from repro import api
+from repro.engines.bottomup import BottomUpEngine
+from repro.engines.cvt import ContextValueTable, TableStore
+from repro.engines.relevance import (
+    CN,
+    CP,
+    CS,
+    EMPTY,
+    ONLY_CN,
+    ONLY_CP,
+    ONLY_CS,
+    compute_relevance,
+    depends_on_position_or_size,
+    enumerate_keys,
+    key_to_context,
+    project_context,
+    project_triple,
+)
+from repro.xpath.ast import (
+    BinaryOp,
+    ContextFunction,
+    FilterExpr,
+    LocationPath,
+    NumberLiteral,
+    PathExpr,
+    Step,
+    StringLiteral,
+    UnionExpr,
+    VariableReference,
+)
+from repro.xpath.context import Context, context_domain
+from repro.xpath.normalize import compile_query
+from repro.xpath.values import NodeSet
+
+
+@pytest.fixture(scope="module")
+def doc():
+    return api.parse("<a><b>1</b><b>2</b><c/></a>")
+
+
+def _first(document, query):
+    return api.select(query, document)[0]
+
+
+class TestContextValueTablePopulation:
+    def test_set_and_get_by_context(self, doc):
+        expression = compile_query("string(self::node())")
+        table = ContextValueTable(expression, ONLY_CN)
+        node = _first(doc, "//b")
+        table.set_context(Context(node, 1, 1), "1")
+        assert table.get_context(Context(node, 1, 1)) == "1"
+        assert len(table) == 1
+
+    def test_projection_collapses_irrelevant_components(self, doc):
+        # With Relev = {cn}, contexts differing only in (k, n) share one row.
+        table = ContextValueTable(compile_query("self::b"), ONLY_CN)
+        node = _first(doc, "//b")
+        table.set_context(Context(node, 1, 1), "row")
+        table.set_context(Context(node, 2, 5), "row'")
+        assert len(table) == 1  # the second write overwrote the same key
+        assert table.get_triple(node, 4, 9) == "row'"
+
+    def test_position_relevant_rows_are_kept_apart(self, doc):
+        table = ContextValueTable(compile_query("position()"), ONLY_CP)
+        node = _first(doc, "//b")
+        table.set_context(Context(node, 1, 3), 1.0)
+        table.set_context(Context(node, 2, 3), 2.0)
+        assert len(table) == 2
+        # The context-node column is projected away entirely.
+        other = _first(doc, "//c")
+        assert table.get_triple(other, 2, 7) == 2.0
+
+    def test_maybe_get_and_contains(self, doc):
+        expression = compile_query("child::b")
+        table = ContextValueTable(expression, ONLY_CN)
+        node = _first(doc, "//c")
+        assert table.maybe_get_context(Context(node, 1, 1)) is None
+        table.set_key(project_context(Context(node, 1, 1), ONLY_CN), "x")
+        assert table.maybe_get_context(Context(node, 1, 1)) == "x"
+        assert project_context(Context(node, 1, 1), ONLY_CN) in table
+        assert table.get_key((node, None, None)) == "x"
+
+    def test_rows_iterates_all_entries(self, doc):
+        table = ContextValueTable(compile_query("position()"), ONLY_CP)
+        node = doc.root
+        for position in range(1, 4):
+            table.set_context(Context(node, position, 3), float(position))
+        assert sorted(value for _, value in table.rows()) == [1.0, 2.0, 3.0]
+
+
+class TestFullRelationRecovery:
+    """⟨c, v⟩ ∈ full relation iff its projection is a row (Section 8)."""
+
+    def test_projected_table_determines_every_full_context(self, doc):
+        # count(child::b) ignores position and size: one row per node must
+        # answer for the whole dom × {⟨k, n⟩} context domain.
+        engine = BottomUpEngine()
+        engine.evaluate("count(child::b)", doc)
+        expression = next(iter(engine.last_tables.tables())).expression
+        # find the root table (the whole query)
+        table = engine.last_tables.get(
+            next(
+                t.expression
+                for t in engine.last_tables.tables()
+                if t.expression.to_xpath() == "count(child::b)"
+            )
+        )
+        assert table.relevance == ONLY_CN
+        for context in context_domain(doc, max_size=3):
+            recovered = table.get_triple(context.node, context.position, context.size)
+            direct = api.evaluate("count(child::b)", doc, context)
+            assert recovered == direct
+
+    def test_relevant_projection_matches_manual_projection(self, doc):
+        node = _first(doc, "//b")
+        for relevance in (EMPTY, ONLY_CN, ONLY_CP, ONLY_CS, frozenset({CP, CS})):
+            key = project_triple(node, 2, 5, relevance)
+            assert key == (
+                node if CN in relevance else None,
+                2 if CP in relevance else None,
+                5 if CS in relevance else None,
+            )
+            assert project_context(Context(node, 2, 5), relevance) == key
+
+    def test_key_to_context_reconstructs_representative(self, doc):
+        node = _first(doc, "//b")
+        context = key_to_context((node, 3, 4), default_node=doc.root)
+        assert context == Context(node, 3, 4)
+        defaulted = key_to_context((None, None, None), default_node=doc.root)
+        assert defaulted.node is doc.root
+        assert defaulted.position == 1 and defaulted.size >= 1
+
+
+class TestEnumerateKeys:
+    def test_node_only_relevance_enumerates_dom(self, doc):
+        keys = list(enumerate_keys(doc, ONLY_CN))
+        assert len(keys) == len(doc)
+        assert all(position is None and size is None for _, position, size in keys)
+
+    def test_position_and_size_respect_triangle(self, doc):
+        keys = list(enumerate_keys(doc, frozenset({CP, CS})))
+        assert all(node is None for node, _, _ in keys)
+        assert all(1 <= position <= size for _, position, size in keys)
+        dom = len(doc)
+        assert len(keys) == dom * (dom + 1) // 2
+
+    def test_empty_relevance_is_single_key(self, doc):
+        assert list(enumerate_keys(doc, EMPTY)) == [(None, None, None)]
+
+    def test_nodes_argument_restricts_column(self, doc):
+        restricted = [_first(doc, "//c")]
+        keys = list(enumerate_keys(doc, ONLY_CN, nodes=restricted))
+        assert keys == [(restricted[0], None, None)]
+
+
+class TestRelevanceAnalysis:
+    def _relev(self, query):
+        expression = compile_query(query)
+        return compute_relevance(expression)[expression], expression
+
+    def test_base_cases(self):
+        assert self._relev("3")[0] == EMPTY
+        assert self._relev("'s'")[0] == EMPTY
+        assert self._relev("$v")[0] == EMPTY
+        assert self._relev("true()")[0] == EMPTY
+        assert self._relev("position()")[0] == ONLY_CP
+        assert self._relev("last()")[0] == ONLY_CS
+        assert self._relev("string()")[0] == ONLY_CN
+        assert self._relev("name()")[0] == ONLY_CN
+
+    def test_paths_and_steps(self):
+        assert self._relev("child::a")[0] == ONLY_CN
+        assert self._relev("/descendant::a")[0] == EMPTY  # absolute path
+        relevance, expression = self._relev("child::a[position() = last()]")
+        # The path node itself depends only on the context node …
+        assert relevance == ONLY_CN
+        # … while the predicate's subexpressions record their own needs.
+        table = compute_relevance(expression)
+        step = expression.steps[0]
+        predicate = step.predicates[0]
+        assert table[predicate] == frozenset({CP, CS})
+
+    def test_compound_expressions_take_unions(self):
+        assert self._relev("position() + last()")[0] == frozenset({CP, CS})
+        assert self._relev("count(child::a) + position()")[0] == frozenset({CN, CP})
+        assert self._relev("-position()")[0] == ONLY_CP
+        assert self._relev("string-length(string())")[0] == ONLY_CN
+
+    def test_union_filter_path_expressions(self):
+        relevance, _ = self._relev("child::a | /descendant::b")
+        assert relevance == ONLY_CN  # union of {cn} and ∅
+        # id('k')/child::a — a PathExpr takes its start's relevance (∅: the
+        # id argument is a constant).
+        relevance, expression = self._relev("id('k')/child::a")
+        assert isinstance(expression, PathExpr)
+        assert relevance == EMPTY
+
+    def test_every_parse_tree_node_is_analysed(self):
+        expression = compile_query("//a[position() = 2]/child::b[last() > 1]")
+        table = compute_relevance(expression)
+        from repro.xpath.ast import walk
+
+        for node in walk(expression):
+            assert node in table
+
+    def test_depends_on_position_or_size(self):
+        assert depends_on_position_or_size(frozenset({CP}))
+        assert depends_on_position_or_size(frozenset({CS, CN}))
+        assert not depends_on_position_or_size(ONLY_CN)
+        assert not depends_on_position_or_size(EMPTY)
+
+
+class TestTableStore:
+    def test_add_get_and_total_rows(self, doc):
+        store = TableStore()
+        first = ContextValueTable(compile_query("position()"), ONLY_CP)
+        first.set_context(Context(doc.root, 1, 2), 1.0)
+        first.set_context(Context(doc.root, 2, 2), 2.0)
+        second = ContextValueTable(compile_query("'x'"), EMPTY)
+        second.set_context(Context(doc.root, 1, 1), "x")
+        store.add(first)
+        store.add(second)
+        assert len(store) == 2
+        assert store.get(first.expression) is first
+        assert store.maybe_get(second.expression) is second
+        assert store.maybe_get(compile_query("position()")) is None  # new AST
+        assert first.expression in store
+        assert store.total_rows() == 3
+        assert set(store.tables()) == {first, second}
+
+    def test_population_by_bottomup_engine(self, doc):
+        engine = BottomUpEngine()
+        value = engine.evaluate("child::b[position() = 2]", doc)
+        assert isinstance(value, NodeSet)
+        store = engine.last_tables
+        assert len(store) > 0
+        assert store.total_rows() == sum(len(t) for t in store.tables())
+        assert engine.last_stats.table_rows == store.total_rows()

@@ -1,0 +1,180 @@
+"""Grammar-driven differential fuzzing of all engines, cached and uncached.
+
+A seeded generator derives random Core XPath / XPatterns queries from the
+fragment grammars of Section 10 (location paths over the navigational axes;
+predicates that are and/or/not combinations of existential paths; attribute
+tests and string-equality tests for the XPatterns round).  Every generated
+query is evaluated by every registered engine — through a cold compile, a
+fresh plan cache, and the shared default cache — and all node-set results
+must be identical.
+
+The seed is fixed (`FUZZ_SEED`, overridable via the REPRO_FUZZ_SEED
+environment variable) so CI runs are reproducible; bump the iteration count
+locally for deeper sweeps.
+"""
+
+import os
+import random
+
+import pytest
+
+from repro import api
+from repro.plan import PlanCache, plan_for
+from repro.workloads.documents import doc_figure8, doc_flat, random_document
+
+FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260731"))
+CORE_QUERY_COUNT = 60
+XPATTERNS_QUERY_COUNT = 30
+
+#: Navigational axes of the Core XPath grammar (Section 10.1).
+AXES = (
+    "self",
+    "child",
+    "parent",
+    "descendant",
+    "ancestor",
+    "descendant-or-self",
+    "ancestor-or-self",
+    "following",
+    "preceding",
+    "following-sibling",
+    "preceding-sibling",
+)
+NAME_TESTS = ("a", "b", "c", "*")
+KIND_TESTS = ("node()", "text()", "comment()")
+
+DOCUMENTS = {
+    "flat": doc_flat(5),
+    "figure8": doc_figure8(),
+    "random17": random_document(17, max_depth=3, max_children=3),
+    "random42": random_document(42, max_depth=3, max_children=3),
+}
+
+ENGINES = sorted(api.ENGINE_CLASSES)
+
+
+class QueryGrammar:
+    """Random derivations of the Core XPath / XPatterns grammars."""
+
+    def __init__(self, seed: int):
+        self.rng = random.Random(seed)
+
+    # -- Core XPath (Section 10.1) -------------------------------------
+    def core_query(self) -> str:
+        absolute = self.rng.random() < 0.6
+        steps = [self.core_step(depth=0) for _ in range(self.rng.randint(1, 3))]
+        return ("/" if absolute else "") + "/".join(steps)
+
+    def core_step(self, depth: int) -> str:
+        axis = self.rng.choice(AXES)
+        # Kind tests are rarer, mirroring real query mixes.
+        test = (
+            self.rng.choice(KIND_TESTS)
+            if self.rng.random() < 0.15
+            else self.rng.choice(NAME_TESTS)
+        )
+        step = f"{axis}::{test}"
+        if depth < 2 and self.rng.random() < 0.4:
+            step += f"[{self.core_predicate(depth + 1)}]"
+        return step
+
+    def core_predicate(self, depth: int) -> str:
+        roll = self.rng.random()
+        if roll < 0.2 and depth < 2:
+            return (
+                f"{self.core_predicate(depth + 1)} "
+                f"{self.rng.choice(('and', 'or'))} "
+                f"{self.core_predicate(depth + 1)}"
+            )
+        if roll < 0.35:
+            return f"not({self.core_predicate(depth + 1)})"
+        steps = "/".join(self.core_step(depth + 1) for _ in range(self.rng.randint(1, 2)))
+        return ("/" + steps) if self.rng.random() < 0.15 else steps
+
+    # -- XPatterns additions (Section 10.2) ----------------------------
+    def xpatterns_query(self) -> str:
+        steps = [self.core_step(depth=1) for _ in range(self.rng.randint(1, 2))]
+        victim = self.rng.randrange(len(steps))
+        steps[victim] += f"[{self.xpatterns_predicate()}]"
+        return ("/" if self.rng.random() < 0.5 else "") + "/".join(steps)
+
+    def xpatterns_predicate(self) -> str:
+        roll = self.rng.random()
+        if roll < 0.35:
+            return self.rng.choice(("@id", "@*", "@href"))
+        if roll < 0.55:
+            return self.rng.choice(("text()", "comment()"))
+        path = "/".join(self.core_step(depth=2) for _ in range(self.rng.randint(1, 2)))
+        op = self.rng.choice(("=", "!="))
+        literal = self.rng.choice(("17", "c", ""))
+        return f"{path} {op} '{literal}'"
+
+
+def _generate(kind: str, count: int) -> list[str]:
+    grammar = QueryGrammar(FUZZ_SEED if kind == "core" else FUZZ_SEED + 1)
+    produce = grammar.core_query if kind == "core" else grammar.xpatterns_query
+    queries, seen = [], set()
+    while len(queries) < count:
+        query = produce()
+        if query not in seen:
+            seen.add(query)
+            queries.append(query)
+    return queries
+
+
+CORE_QUERIES = _generate("core", CORE_QUERY_COUNT)
+XPATTERNS_QUERIES = _generate("xpatterns", XPATTERNS_QUERY_COUNT)
+
+
+def _orders(engine: str, query, document) -> list[int]:
+    nodes = api.get_engine(engine).select(query, document)
+    return [node.order for node in nodes]
+
+
+def _assert_engines_agree(query: str, accepted_engines):
+    """All engines agree, with and without plan caching, on all documents."""
+    private_cache = PlanCache(maxsize=64)
+    for doc_name, document in DOCUMENTS.items():
+        reference = None
+        for engine in accepted_engines:
+            uncached = _orders(engine, plan_for(query, engine=engine, cache=None), document)
+            fresh_cached = _orders(
+                engine,
+                private_cache.get_or_compile(query, engine=engine),
+                document,
+            )
+            shared_cached = _orders(engine, query, document)  # default cache
+            assert uncached == fresh_cached == shared_cached, (
+                f"{engine} disagrees with itself on {query!r} over {doc_name}"
+            )
+            if reference is None:
+                reference = (engine, uncached)
+            else:
+                assert uncached == reference[1], (
+                    f"{engine} vs {reference[0]} on {query!r} over {doc_name}: "
+                    f"{uncached} != {reference[1]}"
+                )
+
+
+@pytest.mark.parametrize("query", CORE_QUERIES, ids=range(len(CORE_QUERIES)))
+def test_core_xpath_fuzz_all_engines_agree(query):
+    # Core XPath queries are accepted by every engine, fragment ones included.
+    assert api.classify_query(query).in_core_xpath, query
+    _assert_engines_agree(query, ENGINES)
+
+
+@pytest.mark.parametrize(
+    "query", XPATTERNS_QUERIES, ids=range(len(XPATTERNS_QUERIES))
+)
+def test_xpatterns_fuzz_all_engines_agree(query):
+    # XPatterns queries fall outside Core XPath's engine only when they use
+    # the extensions; evaluate with every engine that accepts the fragment.
+    info = api.classify_query(query)
+    assert info.in_xpatterns, query
+    engines = ENGINES if info.in_core_xpath else [e for e in ENGINES if e != "corexpath"]
+    _assert_engines_agree(query, engines)
+
+
+def test_generation_is_deterministic_for_fixed_seed():
+    assert _generate("core", 10) == _generate("core", 10)
+    assert _generate("xpatterns", 5) == _generate("xpatterns", 5)
