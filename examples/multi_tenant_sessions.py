@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Multi-tenant serving: isolated sessions, shared documents, per-tenant limits.
+
+Sketches the ROADMAP's target deployment shape: one `XPathSession` per
+tenant, so plan caches, engine pools, resource budgets and telemetry never
+leak between clients, while parsed documents (and their indexes) are shared
+read-only.
+
+Run with::
+
+    python examples/multi_tenant_sessions.py
+"""
+
+from __future__ import annotations
+
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import EvalLimits, ResourceLimitExceeded, XPathSession
+from repro.workloads.documents import doc_flat_source
+
+
+def main() -> None:
+    # The shared corpus: parsed once, DocumentIndex built once per document.
+    # Sizes vary, so a fixed work budget passes the small documents and
+    # aborts the large ones.
+    sources = [doc_flat_source(size) for size in range(4, 24)]
+
+    # Tenant A: trusted batch client — generous budget, auto engine choice.
+    tenant_a = XPathSession(engine="auto")
+    # Tenant B: untrusted interactive client — tight cooperative budget.
+    tenant_b = XPathSession(
+        engine="auto",
+        limits=EvalLimits(max_operations=5_000, max_result_nodes=50),
+    )
+
+    corpus_a = tenant_a.parse_collection(sources)
+    corpus_b = tenant_b.parse_collection(sources)
+
+    print("== Tenant A: batch queries through its own plan cache ==")
+    runs = corpus_a.select_many(["//b", "//a/b", "//b[position() = 1]"])
+    for report in runs.plan_reports:
+        print(f"  {report.query!r:28} engine={report.engine_name:12} "
+              f"fragment={report.fragment:12} cache_hit={report.cache_hit}")
+    again = corpus_a.select_many(["//b", "//a/b"])
+    print("  repeat batch:", [r.cache_hit for r in again.plan_reports], "(all hits)")
+
+    print()
+    print("== Tenant B: same corpus, but its budget bites ==")
+    results = corpus_b.select("//a/b" + "/parent::a/b" * 3, engine="naive")
+    ok = sum(1 for r in results if r.ok)
+    breached = sum(1 for r in results if isinstance(r.error, ResourceLimitExceeded))
+    print(f"  {ok} documents answered, {breached} aborted by the budget "
+          "(per-document isolation: one breach never kills the batch)")
+
+    print()
+    print("== Isolation: nothing leaked between tenants ==")
+    print(f"  tenant A: plans={len(tenant_a.cache)} queries={tenant_a.stats.queries} "
+          f"breaches={tenant_a.stats.limit_breaches}")
+    print(f"  tenant B: plans={len(tenant_b.cache)} queries={tenant_b.stats.queries} "
+          f"breaches={tenant_b.stats.limit_breaches}")
+    print(f"  shared engine instances? "
+          f"{tenant_a.engine('topdown') is tenant_b.engine('topdown')}")
+
+
+if __name__ == "__main__":
+    main()

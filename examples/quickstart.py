@@ -1,5 +1,5 @@
 #!/usr/bin/env python3
-"""Quickstart: parse a document, run XPath queries, inspect engine statistics.
+"""Quickstart: sessions, rich query results, explain() and resource limits.
 
 Run with::
 
@@ -14,7 +14,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 import repro
-from repro.engines import NaiveEngine, TopDownEngine
+from repro import EvalLimits, ResourceLimitExceeded, XPathSession
 
 CATALOG = """
 <catalog>
@@ -27,52 +27,62 @@ CATALOG = """
 
 
 def main() -> None:
-    document = repro.parse(CATALOG, strip_whitespace=True)
+    # A session owns its plan cache, engine pool, limits and statistics —
+    # create one per client/tenant.  engine="auto" picks the algorithm with
+    # the best known complexity bound for each query's Figure-1 fragment.
+    session = XPathSession(engine="auto")
+    document = session.parse(CATALOG, strip_whitespace=True)
 
-    print("== Basic node-set queries ==")
-    titles = repro.select("//book/title", document)
-    print("All titles:        ", [node.string_value() for node in titles])
-    cheap = repro.select("//book[price < 60]/title", document)
-    print("Titles under 60:   ", [node.string_value() for node in cheap])
-    second = repro.select("//book[2]", document)
-    print("Second book id:    ", second[0].attribute_value("id"))
-
-    print()
-    print("== Scalar queries ==")
-    print("Number of books:   ", repro.evaluate("count(//book)", document))
-    print("Total price:       ", repro.evaluate("sum(//price)", document))
-    print("Newest year:       ", repro.evaluate("string(//book[last()]/@year)", document))
-    print("Any book after 2000?", repro.evaluate("boolean(//book[@year > 2000])", document))
+    print("== QueryResult: value + provenance ==")
+    result = session.run("//book[price < 60]/title", document)
+    print("Titles under 60:   ", [node.string_value() for node in result.nodes])
+    print("Fragment:          ", result.fragment_name)
+    print("Engine that ran:   ", result.engine_name)
+    print("Plan cache hit:    ", result.cache_hit)
+    print("Operations:        ", result.stats.total_work())
 
     print()
-    print("== The id() function (ID/IDREF) ==")
-    reviewed = repro.select("id(//review/@of)/title", document)
-    print("Reviewed title:    ", [node.string_value() for node in reviewed])
+    print("== The same query again: served from the session's plan cache ==")
+    print("Cache hit now:     ", session.run("//book[price < 60]/title", document).cache_hit)
 
     print()
-    print("== Choosing an engine ==")
-    query = "//book[price > 40 and @year > 2000]/title"
-    classification = repro.classify_query(query)
-    print("Query:             ", query)
-    print("Fragment:          ", classification.fragment.value)
-    print("Recommended engine:", classification.recommended_engine)
-    print("Best-known bound:  ", classification.complexity)
-    result = repro.select(query, document, engine="auto")
-    print("Result:            ", [node.string_value() for node in result])
+    print("== explain(): the whole decision as text ==")
+    print(session.explain("//book[@year > 2000]/title", document))
 
     print()
-    print("== The exponential trap (paper, Section 2) ==")
-    # Antagonist axes make the naive W3C-style evaluation strategy explode.
-    trap = "//book/parent::catalog/book/parent::catalog/book"
-    for engine in (NaiveEngine(), TopDownEngine()):
-        engine.evaluate(trap, document)
-        stats = engine.last_stats
-        print(
-            f"{engine.name:>8}: {stats.location_step_applications:4d} step applications,"
-            f" {stats.expression_evaluations:4d} expression evaluations"
-        )
-    print("(The context-value-table engines share work between context nodes;")
-    print(" the naive engine re-evaluates the same steps over and over.)")
+    print("== Scalar queries (evaluate returns the bare value) ==")
+    print("Number of books:   ", session.evaluate("count(//book)", document))
+    print("Total price:       ", session.evaluate("sum(//price)", document))
+    print("Reviewed title:    ",
+          [n.string_value() for n in session.select("id(//review/@of)/title", document)])
+
+    print()
+    print("== Resource limits: the exponential trap, defused ==")
+    # Antagonist axes make the naive W3C-style strategy exponential
+    # (paper, Section 2).  A session budget aborts it cooperatively.
+    trap = "//book" + "/parent::catalog/book" * 8
+    try:
+        session.run(trap, document, engine="naive",
+                    limits=EvalLimits(max_operations=50_000))
+    except ResourceLimitExceeded as error:
+        print(f"naive engine stopped: {error}")
+        print(f"partial work counted: {error.stats.total_work()} operations")
+    fine = session.run(trap, document)  # auto → polynomial engine: no sweat
+    print(f"{fine.engine_name} finished the same query in "
+          f"{fine.stats.total_work()} operations")
+
+    print()
+    print("== Session telemetry ==")
+    stats = session.stats
+    print(f"queries={stats.queries} errors={stats.errors} "
+          f"limit_breaches={stats.limit_breaches} total_work={stats.total_work}")
+    print("engine use:        ", stats.engine_use)
+
+    print()
+    print("== One-liners still work (they share a default session) ==")
+    doc = repro.parse(CATALOG, strip_whitespace=True)
+    print("Second book id:    ", repro.select("//book[2]", doc)[0].attribute_value("id"))
+    print("Any book after 2000?", repro.evaluate("boolean(//book[@year > 2000])", doc))
 
 
 if __name__ == "__main__":

@@ -18,9 +18,22 @@ pure Python:
 * the paper's experimental evaluation as reproducible workloads and
   benchmark drivers (:mod:`repro.workloads`, :mod:`repro.benchmarking`).
 
-Quick start::
+Quick start — sessions are the primary API::
 
     import repro
+
+    session = repro.XPathSession(engine="auto")
+    doc = session.parse("<a><b>x</b><b>y</b></a>")
+
+    result = session.run("/a/b[2]", doc)    # → QueryResult
+    result.nodes                            # → [<element 'b' …>]
+    result.engine_name, result.cache_hit    # provenance
+    print(result.explain())                 # plan/fragment/engine report
+
+    limited = repro.EvalLimits(max_operations=100_000, timeout_seconds=1.0)
+    session.run("//b", doc, limits=limited) # cooperative resource limits
+
+The classic one-liners still work, delegating to a process default session::
 
     doc = repro.parse("<a><b>x</b><b>y</b></a>")
     repro.select("/a/b[2]", doc)          # → [<element 'b' …>]
@@ -32,8 +45,8 @@ Quick start::
     docs = repro.parse_collection(["<a><b/></a>", "<a/>"])
     docs.select("//b")                    # one plan, every document
 
-Repeated string queries are served by a transparent LRU plan cache
-(:func:`repro.plan_cache`).
+Repeated string queries are served by each session's transparent LRU plan
+cache (:func:`repro.plan_cache` exposes the default session's).
 """
 
 from . import api
@@ -41,23 +54,35 @@ from .api import (
     DEFAULT_ENGINE,
     ENGINE_CLASSES,
     BatchResult,
+    BatchRun,
     Collection,
     CompiledQuery,
+    EvalLimits,
+    MultiQueryRun,
     PlanCache,
+    PlanReport,
+    QueryResult,
+    SessionStats,
+    XPathSession,
     classify_query,
     compile_query,
+    default_session,
     engine_for_query,
     engine_names,
     evaluate,
+    explain,
     get_engine,
     parse,
     parse_collection,
     plan_cache,
+    run,
     select,
+    session,
 )
 from .errors import (
     FragmentError,
     ReproError,
+    ResourceLimitExceeded,
     VariableBindingError,
     XMLSyntaxError,
     XPathEvaluationError,
@@ -65,32 +90,44 @@ from .errors import (
     XPathTypeError,
 )
 
-__version__ = "1.0.0"
+__version__ = "1.1.0"
 
 __all__ = [
     "BatchResult",
+    "BatchRun",
     "Collection",
     "CompiledQuery",
     "DEFAULT_ENGINE",
     "ENGINE_CLASSES",
+    "EvalLimits",
     "FragmentError",
+    "MultiQueryRun",
     "PlanCache",
+    "PlanReport",
+    "QueryResult",
     "ReproError",
+    "ResourceLimitExceeded",
+    "SessionStats",
     "VariableBindingError",
     "XMLSyntaxError",
     "XPathEvaluationError",
+    "XPathSession",
     "XPathSyntaxError",
     "XPathTypeError",
     "__version__",
     "api",
     "classify_query",
     "compile_query",
+    "default_session",
     "engine_for_query",
     "engine_names",
     "evaluate",
+    "explain",
     "get_engine",
     "parse",
     "parse_collection",
     "plan_cache",
+    "run",
     "select",
+    "session",
 ]

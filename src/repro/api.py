@@ -1,31 +1,46 @@
-"""Convenience API: one-call parsing, evaluation, plans and batch queries.
+"""Convenience API: sessions, rich query results, plans and batch queries.
 
-Typical usage::
+The primary surface is the **session**: an :class:`~repro.session.XPathSession`
+owns a plan cache, a pool of engine instances, default variables, resource
+limits and aggregated statistics, and every call returns a
+:class:`~repro.session.QueryResult` with full provenance::
 
     from repro import api
 
+    session = api.session(engine="auto")
+    doc = session.parse("<a><b>1</b><b>2</b></a>")
+
+    result = session.run("//b[. = '2']", doc)
+    result.nodes                       # → [<element 'b' …>]
+    result.engine_name                 # 'corexpath' — picked by fragment
+    result.cache_hit                   # False, then True on repeats
+    result.stats.total_work()          # deterministic operation counters
+    print(result.explain())            # plan / fragment / engine report
+
+    from repro import EvalLimits
+    session.run("//b", doc, limits=EvalLimits(max_operations=10_000))
+
+The classic one-call helpers remain and now delegate to a process-wide
+**default session** (:func:`default_session`) — same return types as ever,
+but engines are pooled instead of re-instantiated per call and the plan
+cache is the default session's cache::
+
     doc = api.parse("<a><b>1</b><b>2</b></a>")
-    nodes = api.select("//b[. = '2']", doc)                 # default engine
+    nodes = api.select("//b[. = '2']", doc)                 # list[Node]
     value = api.evaluate("count(//b)", doc)                 # → 2.0
-    engine = api.get_engine("corexpath")                    # explicit engine
     info = api.classify_query("//a/b[child::c]")            # Figure-1 fragment
 
-Repeated queries are served by compiled plans and the plan cache::
-
     plan = api.compile_query("//b[. = '2']", engine="auto") # parsed once
-    plan.engine_name                                        # 'corexpath'
     plan.select(doc)                                        # reuse per document
+    api.plan_cache().stats.hits                             # cache telemetry
 
-    api.select("//b", doc)                                  # cache miss …
-    api.select("//b", doc)                                  # … then cache hits
-    api.plan_cache().stats.hits                             # ≥ 1
-    api.plan_cache().clear()
-
-Batch traffic goes through collections — one plan, many documents::
+Batch traffic goes through collections — one plan, many documents — now
+session-aware (plans, limits and stats shared with the owning session)::
 
     docs = api.parse_collection(["<a><b/></a>", "<a><b/><b/></a>"])
     [len(r.nodes) for r in docs.select("//b")]              # → [1, 2]
-    reports = docs.select_many(["//b", "//a"])              # plans compiled once
+    runs = docs.select_many(["//b", "//a"])                 # compiled once
+    runs.plan_reports                                       # hit vs compiled
 
 The default engine is :class:`~repro.engines.topdown.TopDownEngine`, the
 paper's practical polynomial algorithm; ``engine="auto"`` resolves — once,
@@ -37,18 +52,10 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
-from .collection import BatchResult, Collection
-from .engines.base import XPathEngine
-from .engines.bottomup import BottomUpEngine
-from .engines.datapool import DataPoolEngine
-from .engines.mincontext import MinContextEngine
-from .engines.naive import NaiveEngine
-from .engines.optmincontext import OptMinContextEngine
-from .engines.topdown import TopDownEngine
+from .collection import BatchResult, BatchRun, Collection, MultiQueryRun, PlanReport
+from .engines.base import EvalLimits, XPathEngine
 from .errors import XPathEvaluationError
 from .fragments.classify import Classification, classify
-from .fragments.core_xpath import CoreXPathEngine
-from .fragments.xpatterns import XPatternsEngine
 from .plan import (
     DEFAULT_ENGINE,
     DEFAULT_PLAN_CACHE,
@@ -57,27 +64,55 @@ from .plan import (
     compile_plan,
     plan_for,
 )
+from .session import (
+    ENGINE_CLASSES,
+    QueryResult,
+    SessionStats,
+    XPathSession,
+    render_explanation,
+)
 from .xmlmodel.document import Document
 from .xmlmodel.nodes import Node
 from .xmlmodel.parser import parse_xml
 from .xpath.context import Context
 from .xpath.values import XPathValue
 
-#: Registry of all engines by name.
-ENGINE_CLASSES: dict[str, type[XPathEngine]] = {
-    NaiveEngine.name: NaiveEngine,
-    DataPoolEngine.name: DataPoolEngine,
-    BottomUpEngine.name: BottomUpEngine,
-    TopDownEngine.name: TopDownEngine,
-    MinContextEngine.name: MinContextEngine,
-    OptMinContextEngine.name: OptMinContextEngine,
-    CoreXPathEngine.name: CoreXPathEngine,
-    XPatternsEngine.name: XPatternsEngine,
-}
-
 #: Name of the engine used when none is specified (shared with the plan
 #: layer, which owns the constant to stay import-cycle free).
-assert DEFAULT_ENGINE == TopDownEngine.name
+assert DEFAULT_ENGINE in ENGINE_CLASSES
+
+#: The process-wide default session behind the module-level helpers.  It
+#: adopts :data:`~repro.plan.DEFAULT_PLAN_CACHE`, so code that held a
+#: reference to the old process-global cache observes the same entries.
+_DEFAULT_SESSION = XPathSession(cache=DEFAULT_PLAN_CACHE)
+
+
+def default_session() -> XPathSession:
+    """The process-wide session that serves :func:`select` / :func:`evaluate`.
+
+    Use it for telemetry (``default_session().stats``) or configuration
+    (``default_session().limits``); create isolated sessions per client
+    with :func:`session`.
+    """
+    return _DEFAULT_SESSION
+
+
+def session(
+    *,
+    engine: Optional[str] = None,
+    cache: Optional[PlanCache] = None,
+    cache_size: int = 256,
+    limits: Optional[EvalLimits] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+) -> XPathSession:
+    """Create a fresh, isolated :class:`~repro.session.XPathSession`."""
+    return XPathSession(
+        engine=engine,
+        cache=cache,
+        cache_size=cache_size,
+        limits=limits,
+        variables=variables,
+    )
 
 
 def engine_names() -> list[str]:
@@ -86,7 +121,12 @@ def engine_names() -> list[str]:
 
 
 def get_engine(name: str = DEFAULT_ENGINE) -> XPathEngine:
-    """Instantiate an engine by name (see :data:`ENGINE_CLASSES`)."""
+    """Instantiate a fresh engine by name (see :data:`ENGINE_CLASSES`).
+
+    This is the low-level constructor — callers who want engine reuse
+    should go through a session (:meth:`XPathSession.engine` pools one
+    instance per name).
+    """
     try:
         return ENGINE_CLASSES[name]()
     except KeyError:
@@ -96,9 +136,13 @@ def get_engine(name: str = DEFAULT_ENGINE) -> XPathEngine:
 
 
 def engine_for_query(query: Union[str, object]) -> XPathEngine:
-    """The engine with the best known bounds for the query's fragment."""
+    """The engine with the best known bounds for the query's fragment.
+
+    Served from the default session's engine pool — repeated calls for the
+    same fragment return the same instance.
+    """
     classification = classify(query)
-    return get_engine(classification.recommended_engine)
+    return _DEFAULT_SESSION.engine(classification.recommended_engine)
 
 
 def parse(text: str, *, strip_whitespace: bool = False) -> Document:
@@ -115,7 +159,9 @@ def parse_collection(
     """Parse several XML texts into a :class:`~repro.collection.Collection`.
 
     Every document's :class:`~repro.xmlmodel.index.DocumentIndex` is built
-    once here and reused by all subsequent batch queries.
+    once here and reused by all subsequent batch queries.  The collection is
+    bound to the default session; use :meth:`XPathSession.parse_collection`
+    to bind one to an isolated session.
     """
     return Collection.from_sources(
         sources, strip_whitespace=strip_whitespace, names=names
@@ -141,9 +187,42 @@ def compile_query(
 
 
 def plan_cache() -> PlanCache:
-    """The process-wide plan cache consulted by :func:`select`,
+    """The default session's plan cache, consulted by :func:`select`,
     :func:`evaluate`, the CLI and the engines' string front door."""
-    return DEFAULT_PLAN_CACHE
+    return _DEFAULT_SESSION.cache
+
+
+def run(
+    query: Union[str, CompiledQuery],
+    document: Document,
+    context: Optional[Union[Context, Node]] = None,
+    *,
+    engine: Optional[str] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    limits: Optional[EvalLimits] = None,
+) -> QueryResult:
+    """Evaluate on the default session and return a rich
+    :class:`~repro.session.QueryResult` (value + plan + engine + stats)."""
+    return _DEFAULT_SESSION.run(
+        query, document, context, engine=engine, variables=variables, limits=limits
+    )
+
+
+def explain(
+    query: Union[str, CompiledQuery],
+    document: Optional[Document] = None,
+    context: Optional[Union[Context, Node]] = None,
+    *,
+    engine: Optional[str] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    limits: Optional[EvalLimits] = None,
+) -> str:
+    """Explain a query on the default session (see
+    :meth:`XPathSession.explain`): compile-only without a document, full
+    evaluation report with one."""
+    return _DEFAULT_SESSION.explain(
+        query, document, context, engine=engine, variables=variables, limits=limits
+    )
 
 
 def evaluate(
@@ -153,16 +232,19 @@ def evaluate(
     *,
     engine: Optional[str] = None,
     variables: Optional[Mapping[str, XPathValue]] = None,
+    limits: Optional[EvalLimits] = None,
 ) -> XPathValue:
     """Evaluate a query and return its XPath value (number/string/bool/node set).
 
-    String queries are compiled through the plan cache (for
-    :data:`DEFAULT_ENGINE` unless ``engine`` says otherwise); a prebuilt
+    Delegates to the default session: string queries are compiled through
+    its plan cache (for :data:`DEFAULT_ENGINE` unless ``engine`` says
+    otherwise) and evaluated on its pooled engine instances; a prebuilt
     :class:`~repro.plan.CompiledQuery` is used as-is — its compile-time
     engine resolution stands unless a different engine is explicitly named.
     """
-    plan = plan_for(query, engine=engine, variables=variables)
-    return get_engine(plan.engine_name).evaluate(plan, document, context, variables)
+    return _DEFAULT_SESSION.evaluate(
+        query, document, context, engine=engine, variables=variables, limits=limits
+    )
 
 
 def select(
@@ -172,14 +254,16 @@ def select(
     *,
     engine: Optional[str] = None,
     variables: Optional[Mapping[str, XPathValue]] = None,
+    limits: Optional[EvalLimits] = None,
 ) -> list[Node]:
     """Evaluate a node-set query and return the nodes in document order.
 
     Engine handling follows :func:`evaluate`: prebuilt plans keep their
     compiled engine unless one is explicitly requested.
     """
-    plan = plan_for(query, engine=engine, variables=variables)
-    return get_engine(plan.engine_name).select(plan, document, context, variables)
+    return _DEFAULT_SESSION.select(
+        query, document, context, engine=engine, variables=variables, limits=limits
+    )
 
 
 def classify_query(query: Union[str, object]) -> Classification:
@@ -191,19 +275,31 @@ def classify_query(query: Union[str, object]) -> Classification:
 
 __all__ = [
     "BatchResult",
+    "BatchRun",
     "Collection",
     "CompiledQuery",
     "DEFAULT_ENGINE",
     "ENGINE_CLASSES",
+    "EvalLimits",
+    "MultiQueryRun",
     "PlanCache",
+    "PlanReport",
+    "QueryResult",
+    "SessionStats",
+    "XPathSession",
     "classify_query",
     "compile_query",
+    "default_session",
     "engine_for_query",
     "engine_names",
     "evaluate",
+    "explain",
     "get_engine",
     "parse",
     "parse_collection",
     "plan_cache",
+    "render_explanation",
+    "run",
     "select",
+    "session",
 ]

@@ -392,6 +392,78 @@ def collection_experiment(
     )
 
 
+def time_raw_cached_path(query: str, document, count: int) -> float:
+    """Seconds for ``count`` warm evaluations on the raw cached-plan path.
+
+    The cheapest possible warm loop — one :class:`~repro.plan.PlanCache`
+    lookup plus a reused engine instance per call.  This is the canonical
+    definition of the "raw" baseline the session-overhead acceptance bar is
+    measured against (``benchmarks/bench_session.py`` imports it).
+    """
+    from ..plan import PlanCache
+
+    cache = PlanCache()
+    engine = TopDownEngine()
+    engine.evaluate(cache.get_or_compile(query), document)  # warm
+    start = time.perf_counter()
+    for _ in range(count):
+        engine.evaluate(cache.get_or_compile(query), document)
+    return time.perf_counter() - start
+
+
+def time_session_path(query: str, document, count: int) -> float:
+    """Seconds for ``count`` warm evaluations through ``XPathSession.run``."""
+    from ..session import XPathSession
+
+    session = XPathSession()
+    session.run(query, document)  # warm
+    start = time.perf_counter()
+    for _ in range(count):
+        session.run(query, document)
+    return time.perf_counter() - start
+
+
+def session_overhead_experiment(
+    repetitions: Sequence[int] = (100, 500),
+    query: str = "//b[position() = last()]",
+    document_size: int = 30,
+) -> ExperimentResult:
+    """Session front door vs. the raw cached-plan path.
+
+    The "session" series routes the raw series' traffic through
+    :meth:`~repro.session.XPathSession.run`, paying for the
+    :class:`~repro.session.QueryResult`, per-query stats aggregation and
+    timing.  The gap is the session tax — asserted ≤ 10% by
+    ``benchmarks/bench_session.py``, which shares the two timing loops.
+    """
+    document = doc_flat(document_size)
+
+    series = []
+    for name, timer in (
+        ("raw", time_raw_cached_path),
+        ("session", time_session_path),
+    ):
+        engine_series = EngineSeries(engine_name=name)
+        for count in repetitions:
+            engine_series.points.append(
+                Measurement(
+                    parameter=count,
+                    seconds=timer(query, document, count),
+                    work=0,
+                    counters={},
+                )
+            )
+        series.append(engine_series)
+    return ExperimentResult(
+        experiment_id="SESSION",
+        title=f"Session front door vs. raw cached plan, DOC({document_size})",
+        parameter_name="repetitions",
+        parameters=list(repetitions),
+        series=series,
+        notes="the gap is QueryResult construction + stats aggregation + timing",
+    )
+
+
 def all_experiments(*, quick: bool = True) -> list[ExperimentResult]:
     """Run every experiment driver (quick sizes by default) and return results."""
     results: list[ExperimentResult] = [
@@ -407,6 +479,7 @@ def all_experiments(*, quick: bool = True) -> list[ExperimentResult]:
     results.extend(table7(document_sizes=(10, 20) if quick else (10, 20, 200)))
     results.append(repeated_query_experiment(repetitions=(1, 10) if quick else (1, 10, 50, 100)))
     results.append(collection_experiment(collection_sizes=(10, 25) if quick else (10, 50, 100)))
+    results.append(session_overhead_experiment(repetitions=(50,) if quick else (100, 500)))
     return results
 
 

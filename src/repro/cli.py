@@ -1,17 +1,33 @@
-"""Command-line interface: evaluate XPath queries against XML files.
+"""Command-line interface: evaluate and explain XPath queries on XML files.
 
 Usage::
 
     python -m repro.cli QUERY [FILE] [--engine NAME] [--classify] [--stats]
+                        [--max-ops N] [--max-nodes N] [--timeout S]
+    python -m repro.cli explain QUERY [FILE] [--engine NAME] [--plan-only]
 
-Reads the XML document from FILE (or stdin when omitted), evaluates QUERY
-and prints the result: one line per node for node-set results (element name,
-document-order position and string value), or the scalar value otherwise.
+The first form reads the XML document from FILE (or stdin when omitted),
+evaluates QUERY through the default session and prints the result: one line
+per node for node-set results (element name, document-order position and
+string value), or the scalar value otherwise.  The ``explain`` subcommand
+prints the query's plan / fragment / engine decision instead — with a
+document it also evaluates and reports counters and timing; with
+``--plan-only`` it stops after compilation and needs no document.
+
+Resource limits (``--max-ops``, ``--max-nodes``, ``--timeout``) abort
+over-budget evaluations with exit code 3.
+
+A first argument of ``explain`` selects the subcommand; to *evaluate* a
+query literally named ``explain``, put ``--`` in front of it
+(``python -m repro.cli -- explain doc.xml``).
 
 Examples::
 
     python -m repro.cli "count(//item)" data.xml
     python -m repro.cli "//book[price < 60]/title" catalog.xml --engine corexpath
+    python -m repro.cli "//a//a//a" huge.xml --engine naive --timeout 2.5
+    python -m repro.cli explain "//book[price < 60]" catalog.xml
+    python -m repro.cli explain "//a/b[child::c]" --plan-only
     echo "<a><b/></a>" | python -m repro.cli "//b" --classify --stats
 """
 
@@ -21,20 +37,16 @@ import argparse
 import sys
 from typing import Optional, Sequence
 
-from .api import DEFAULT_ENGINE, engine_names, get_engine
-from .errors import ReproError
-from .plan import plan_for
+from .api import DEFAULT_ENGINE, default_session, engine_names
+from .engines.base import EvalLimits
+from .errors import ReproError, ResourceLimitExceeded
 from .xmlmodel.parser import parse_xml
 from .xmlmodel.serializer import serialize_node
 from .xpath.values import NodeSet, to_string
 
 
-def build_parser() -> argparse.ArgumentParser:
-    parser = argparse.ArgumentParser(
-        prog="repro-xpath",
-        description="Evaluate an XPath 1.0 query against an XML document.",
-    )
-    parser.add_argument("query", help="the XPath query to evaluate")
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("query", help="the XPath query")
     parser.add_argument(
         "file",
         nargs="?",
@@ -46,6 +58,35 @@ def build_parser() -> argparse.ArgumentParser:
         choices=sorted(engine_names()) + ["auto"],
         help=f"evaluation engine (default: {DEFAULT_ENGINE}; 'auto' picks by fragment)",
     )
+    parser.add_argument(
+        "--max-ops",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort evaluation after N counted operations (exit code 3)",
+    )
+    parser.add_argument(
+        "--max-nodes",
+        type=int,
+        default=None,
+        metavar="N",
+        help="abort when a node-set result exceeds N nodes (exit code 3)",
+    )
+    parser.add_argument(
+        "--timeout",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="abort evaluation after this wall-clock budget (exit code 3)",
+    )
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath",
+        description="Evaluate an XPath 1.0 query against an XML document.",
+    )
+    _add_common_arguments(parser)
     parser.add_argument(
         "--classify",
         action="store_true",
@@ -64,43 +105,113 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_explain_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath explain",
+        description="Explain how a query would be (or was) evaluated: "
+        "normalised form, Figure-1 fragment, chosen engine, cache state, "
+        "operation counters and timing.",
+    )
+    _add_common_arguments(parser)
+    parser.add_argument(
+        "--plan-only",
+        action="store_true",
+        help="stop after plan compilation (no document needed, no evaluation)",
+    )
+    return parser
+
+
+def _limits_from_args(args: argparse.Namespace) -> Optional[EvalLimits]:
+    if args.max_ops is None and args.max_nodes is None and args.timeout is None:
+        return None
+    return EvalLimits(
+        max_result_nodes=args.max_nodes,
+        max_operations=args.max_ops,
+        timeout_seconds=args.timeout,
+    )
+
+
+def _read_document(args: argparse.Namespace, stdin: Optional[str]):
+    if args.file:
+        with open(args.file, "r", encoding="utf-8") as handle:
+            source = handle.read()
+    else:
+        source = stdin if stdin is not None else sys.stdin.read()
+    return parse_xml(source)
+
+
 def run(argv: Optional[Sequence[str]] = None, stdin: Optional[str] = None) -> int:
     """Entry point; returns the process exit code (0 on success)."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "explain":
+        return _run_explain(list(argv[1:]), stdin)
+    return _run_evaluate(list(argv), stdin)
+
+
+def _run_evaluate(argv: Sequence[str], stdin: Optional[str]) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
 
     try:
-        if args.file:
-            with open(args.file, "r", encoding="utf-8") as handle:
-                source = handle.read()
-        else:
-            source = stdin if stdin is not None else sys.stdin.read()
-        document = parse_xml(source)
-
-        # One trip through the plan pipeline (and the plan cache) serves
-        # classification, engine selection and evaluation alike.
+        document = _read_document(args, stdin)
+        session = default_session()
         requested = args.engine if args.engine is not None else DEFAULT_ENGINE
-        plan = plan_for(args.query, engine=requested)
+
+        result = session.run(
+            args.query, document, engine=requested, limits=_limits_from_args(args)
+        )
 
         if args.classify:
-            info = plan.classification
+            info = result.classification
             print(f"fragment:  {info.fragment.value}")
             print(f"engine:    {info.recommended_engine}")
             print(f"bound:     {info.complexity}")
             for violation in info.wadler_violations:
                 print(f"           {violation}")
 
-        engine = get_engine(plan.engine_name)
-        value = engine.evaluate(plan, document)
-        _print_value(value, as_xml=args.xml)
+        _print_value(result.value, as_xml=args.xml)
 
-        if args.stats and engine.last_stats is not None:
-            counters = engine.last_stats.as_dict()
+        if args.stats:
             print("-- stats --", file=sys.stderr)
-            for name, count in counters.items():
+            for name, count in result.stats.as_dict().items():
                 if count:
                     print(f"{name}: {count}", file=sys.stderr)
         return 0
+    except ResourceLimitExceeded as error:
+        print(f"limit exceeded: {error}", file=sys.stderr)
+        return 3
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_explain(argv: Sequence[str], stdin: Optional[str]) -> int:
+    parser = build_explain_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        session = default_session()
+        requested = args.engine if args.engine is not None else DEFAULT_ENGINE
+        limits = _limits_from_args(args)
+
+        if args.plan_only:
+            print(session.explain(args.query, engine=requested, limits=limits))
+            return 0
+
+        document = _read_document(args, stdin)
+        print(
+            session.explain(
+                args.query, document, engine=requested, limits=limits
+            )
+        )
+        return 0
+    except ResourceLimitExceeded as error:
+        print(f"limit exceeded: {error}", file=sys.stderr)
+        return 3
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

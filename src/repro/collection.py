@@ -12,12 +12,23 @@ evaluates compiled plans across all of them:
 * :meth:`Collection.select_many` / :meth:`Collection.evaluate_many` — many
   plans over the whole collection, compiling each query once.
 
+Collections are **session-aware**: each collection is bound to an
+:class:`~repro.session.XPathSession` (the default session unless one is
+given), so batch traffic shares the session's plan cache, pooled engine
+instances, resource limits and aggregated statistics.  Batch entry points
+return :class:`BatchRun` — a plain ``list`` of :class:`BatchResult` that
+additionally reports the plan and whether it was a cache hit or freshly
+compiled; :meth:`Collection.select_many` / :meth:`Collection.evaluate_many`
+return a :class:`MultiQueryRun` whose :attr:`~MultiQueryRun.plan_reports`
+show the hit/compiled provenance of every query in the batch.
+
 Failures are isolated per document: a query that raises on one document
-(e.g. an unbound variable met only on some documents' contexts, or a
-fragment engine rejecting at evaluation time) yields a :class:`BatchResult`
-carrying the error while every other document still produces its result.
-Result ordering is stable: results always come back in collection order,
-and node lists are in document order (the engines guarantee that).
+(e.g. an unbound variable met only on some documents' contexts, a fragment
+engine rejecting at evaluation time, or a per-document resource-limit
+breach) yields a :class:`BatchResult` carrying the error while every other
+document still produces its result.  Result ordering is stable: results
+always come back in collection order, and node lists are in document order
+(the engines guarantee that).
 
 Typical usage::
 
@@ -26,10 +37,14 @@ Typical usage::
     docs = api.parse_collection(["<a><b/></a>", "<a><b/><b/></a>"])
     for result in docs.select("//b"):
         print(result.index, len(result.nodes))
+
+    runs = docs.select_many(["//b", "//a"])
+    [(r.query, r.cache_hit) for r in runs.plan_reports]
 """
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
@@ -70,6 +85,66 @@ class BatchResult:
         return f"<BatchResult {self.name}: {payload}>"
 
 
+@dataclass(frozen=True)
+class PlanReport:
+    """Compile-time provenance of one batch query: what ran, from where."""
+
+    #: The query as given (source text, or rendered XPath for ASTs/plans).
+    query: str
+    #: Engine the plan resolved to.
+    engine_name: str
+    #: Figure-1 fragment of the query.
+    fragment: str
+    #: ``True`` = served from the session's plan cache, ``False`` = compiled
+    #: on this call, ``None`` = prebuilt plan / AST (no cache involved).
+    cache_hit: Optional[bool]
+
+
+class BatchRun(list):
+    """``list[BatchResult]`` plus the plan provenance of the batch.
+
+    Subclasses ``list`` so every pre-existing consumer of
+    :meth:`Collection.select` keeps working; the extras are the compiled
+    :attr:`plan`, the :attr:`cache_hit` flag and a :attr:`report`.
+    """
+
+    def __init__(self, results=(), *, plan, cache_hit: Optional[bool] = None):
+        super().__init__(results)
+        self.plan = plan
+        self.cache_hit = cache_hit
+
+    @property
+    def ok(self) -> bool:
+        """True when every document evaluated without error."""
+        return all(result.ok for result in self)
+
+    @property
+    def report(self) -> PlanReport:
+        return PlanReport(
+            query=self.plan.source if self.plan.source is not None else self.plan.to_xpath(),
+            engine_name=self.plan.engine_name,
+            fragment=self.plan.fragment_name,
+            cache_hit=self.cache_hit,
+        )
+
+
+class MultiQueryRun(list):
+    """``list[BatchRun]`` (one per query) with per-plan hit/compiled reports."""
+
+    @property
+    def plan_reports(self) -> list[PlanReport]:
+        """Which plan-cache entries were hits vs freshly compiled."""
+        return [run.report for run in self]
+
+    @property
+    def cache_hits(self) -> int:
+        return sum(1 for run in self if run.cache_hit)
+
+    @property
+    def compiled(self) -> int:
+        return sum(1 for run in self if run.cache_hit is False)
+
+
 class Collection:
     """An ordered, immutable set of documents evaluated as a batch.
 
@@ -78,13 +153,22 @@ class Collection:
     keep their identity (and their :class:`~repro.xmlmodel.index.DocumentIndex`)
     for the collection's lifetime, so every query against the collection
     reuses the indexes instead of rebuilding per call.
+
+    A collection is bound to an :class:`~repro.session.XPathSession`
+    (``session=None`` binds it to the process default session): plans come
+    from the session's cache, engines from its pool, the session's
+    :class:`~repro.engines.base.EvalLimits` bound every per-document
+    evaluation, and all work is folded into the session's stats.
     """
 
     def __init__(
         self,
         documents: Iterable[Document],
         names: Optional[Sequence[str]] = None,
+        *,
+        session=None,
     ):
+        self._session = session
         self._documents: tuple[Document, ...] = tuple(documents)
         if names is None:
             self._names: tuple[str, ...] = tuple(
@@ -108,12 +192,22 @@ class Collection:
         *,
         strip_whitespace: bool = False,
         names: Optional[Sequence[str]] = None,
+        session=None,
     ) -> "Collection":
         """Parse XML texts into a collection (indexes built once, here)."""
         documents = [
             parse_xml(source, strip_whitespace=strip_whitespace) for source in sources
         ]
-        return cls(documents, names=names)
+        return cls(documents, names=names, session=session)
+
+    @property
+    def session(self):
+        """The session this collection is bound to (default session if none)."""
+        if self._session is not None:
+            return self._session
+        from .api import default_session  # local import to avoid a cycle
+
+        return default_session()
 
     # ------------------------------------------------------------------
     # Container protocol
@@ -144,26 +238,17 @@ class Collection:
         *,
         engine: Optional[str] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
-    ) -> list[BatchResult]:
+        limits=None,
+    ) -> BatchRun:
         """Evaluate one node-set query over every document.
 
-        The query is compiled exactly once (through the plan cache when it
-        is a string); each document is evaluated with the plan's engine and
-        errors are captured per document.  Results arrive in collection
-        order with nodes in document order.
+        The query is compiled exactly once (through the session's plan
+        cache when it is a string); each document is evaluated with the
+        session's pooled engine under the session's limits, and errors —
+        including per-document limit breaches — are captured per document.
+        Results arrive in collection order with nodes in document order.
         """
-        plan, runner = self._plan_and_engine(query, engine, variables)
-        results: list[BatchResult] = []
-        for index, document in enumerate(self._documents):
-            try:
-                nodes = runner.select(plan, document, None, variables)
-            except ReproError as error:
-                results.append(self._failure(index, error))
-            else:
-                results.append(
-                    BatchResult(index, self._names[index], document, nodes=nodes)
-                )
-        return results
+        return self._run_batch(query, engine, variables, limits, select_nodes=True)
 
     def evaluate(
         self,
@@ -171,20 +256,10 @@ class Collection:
         *,
         engine: Optional[str] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
-    ) -> list[BatchResult]:
+        limits=None,
+    ) -> BatchRun:
         """Evaluate one query of any result type over every document."""
-        plan, runner = self._plan_and_engine(query, engine, variables)
-        results: list[BatchResult] = []
-        for index, document in enumerate(self._documents):
-            try:
-                value = runner.evaluate(plan, document, None, variables)
-            except ReproError as error:
-                results.append(self._failure(index, error))
-            else:
-                results.append(
-                    BatchResult(index, self._names[index], document, value=value)
-                )
-        return results
+        return self._run_batch(query, engine, variables, limits, select_nodes=False)
 
     def select_many(
         self,
@@ -192,17 +267,20 @@ class Collection:
         *,
         engine: Optional[str] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
-    ) -> list[list[BatchResult]]:
+        limits=None,
+    ) -> MultiQueryRun:
         """Evaluate several queries over the whole collection.
 
-        Returns one result list per query, in query order — each compiled
-        once and evaluated across every document, so the cost is
-        |queries| compilations + |queries|·|documents| evaluations.
+        Returns one :class:`BatchRun` per query, in query order — each
+        compiled once and evaluated across every document, so the cost is
+        |queries| compilations + |queries|·|documents| evaluations.  The
+        returned :class:`MultiQueryRun`'s :attr:`~MultiQueryRun.plan_reports`
+        say which plans were cache hits and which had to be compiled.
         """
-        return [
-            self.select(query, engine=engine, variables=variables)
+        return MultiQueryRun(
+            self.select(query, engine=engine, variables=variables, limits=limits)
             for query in queries
-        ]
+        )
 
     def evaluate_many(
         self,
@@ -210,22 +288,54 @@ class Collection:
         *,
         engine: Optional[str] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
-    ) -> list[list[BatchResult]]:
+        limits=None,
+    ) -> MultiQueryRun:
         """Like :meth:`select_many`, for queries of any result type."""
-        return [
-            self.evaluate(query, engine=engine, variables=variables)
+        return MultiQueryRun(
+            self.evaluate(query, engine=engine, variables=variables, limits=limits)
             for query in queries
-        ]
+        )
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
-    def _plan_and_engine(self, query, engine: Optional[str], variables):
-        from .api import get_engine  # local import to avoid a cycle
-        from .plan import plan_for
-
-        plan = plan_for(query, engine=engine, variables=variables)
-        return plan, get_engine(plan.engine_name)
+    def _run_batch(
+        self, query, engine: Optional[str], variables, limits, *, select_nodes: bool
+    ) -> BatchRun:
+        session = self.session
+        merged = session._merged(variables)
+        plan, cache_hit = session._plan(query, engine, merged)
+        runner = session.engine(plan.engine_name)
+        effective_limits = limits if limits is not None else session.limits
+        results = BatchRun(plan=plan, cache_hit=cache_hit)
+        for index, document in enumerate(self._documents):
+            started = time.perf_counter()
+            try:
+                if select_nodes:
+                    nodes = runner.select(
+                        plan, document, None, merged or None, limits=effective_limits
+                    )
+                    result = BatchResult(
+                        index, self._names[index], document, nodes=nodes
+                    )
+                else:
+                    value = runner.evaluate(
+                        plan, document, None, merged or None, limits=effective_limits
+                    )
+                    result = BatchResult(
+                        index, self._names[index], document, value=value
+                    )
+            except ReproError as error:
+                session.stats.record_failure(
+                    plan.engine_name, time.perf_counter() - started, error
+                )
+                results.append(self._failure(index, error))
+            else:
+                session.stats.record(
+                    plan.engine_name, runner.last_stats, time.perf_counter() - started
+                )
+                results.append(result)
+        return results
 
     def _failure(self, index: int, error: ReproError) -> BatchResult:
         return BatchResult(

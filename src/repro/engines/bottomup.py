@@ -111,6 +111,7 @@ class _TableBuilder:
         table = self._build_table(expression)
         self.store.add(table)
         self.stats.table_rows += len(table)
+        self.stats.checkpoint()
         return table
 
     def _relev(self, expression: Expression) -> frozenset[str]:
@@ -210,6 +211,7 @@ class _TableBuilder:
             self.stats.location_step_applications += 1
             candidates = step_candidates(origin, step.axis, step.node_test)
             self.stats.axis_nodes_visited += len(candidates)
+            self.stats.checkpoint()
             survivors = proximity_order(candidates, step.axis)
             for predicate, predicate_table in zip(step.predicates, predicate_tables):
                 size = len(survivors)

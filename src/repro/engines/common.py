@@ -96,6 +96,7 @@ def apply_step_to_node(
     stats.location_step_applications += 1
     candidates = step_candidates(node, step.axis, step.node_test)
     stats.axis_nodes_visited += len(candidates)
+    stats.checkpoint()
     ordered = proximity_order(candidates, step.axis)
     survivors = filter_by_predicates(ordered, step.axis, step.predicates, evaluate)
     # Survivors preserve proximity order; applying proximity_order again

@@ -64,6 +64,9 @@ class _MemoisedEvaluation(_Evaluation):
         pooled = self._expression_pool.get(key)
         if pooled is not None:
             self.stats.memo_hits += 1
+            # Hit paths do no counted work, so checkpoint here to keep the
+            # wall-clock limit responsive on memo-dominated evaluations.
+            self.stats.checkpoint()
             return pooled
         self.stats.memo_misses += 1
         value = super().evaluate(expression, context)
@@ -79,6 +82,7 @@ class _MemoisedEvaluation(_Evaluation):
             pooled = self._path_pool.get(key)
             if pooled is not None:
                 self.stats.memo_hits += 1
+                self.stats.checkpoint()
                 return pooled
             self.stats.memo_misses += 1
             value = super()._evaluate_node_set_expr(expression, context)
@@ -96,6 +100,7 @@ class _MemoisedEvaluation(_Evaluation):
         pooled = self._step_pool.get(key)
         if pooled is not None:
             self.stats.memo_hits += 1
+            self.stats.checkpoint()
             return set(pooled)
         self.stats.memo_misses += 1
         result = super()._process_steps(steps, index, node)

@@ -124,6 +124,7 @@ class MinContextEvaluator:
         table = self.tables.setdefault(expression, {})
         if key not in table:
             self.stats.table_rows += 1
+            self.stats.checkpoint()
         table[key] = value
 
     # ------------------------------------------------------------------
@@ -169,6 +170,7 @@ class MinContextEvaluator:
         self.stats.location_step_applications += 1
         candidates = axis_test_set(self.document, sources, step.axis, step.node_test)
         self.stats.axis_nodes_visited += len(candidates)
+        self.stats.checkpoint()
         if not step.predicates:
             return candidates
         for predicate in step.predicates:
@@ -296,6 +298,7 @@ class MinContextEvaluator:
     ) -> XPathValue:
         """Evaluate an expression for a single context ⟨x, p, s⟩."""
         self.stats.expression_evaluations += 1
+        self.stats.checkpoint()
         if not self._position_dependent(expression):
             key = self._table_key(expression, node)
             table = self.tables.get(expression)
@@ -390,6 +393,7 @@ class MinContextEvaluator:
         self.stats.location_step_applications += 1
         candidates = axis_test_set(self.document, sources, step.axis, step.node_test)
         self.stats.axis_nodes_visited += len(candidates)
+        self.stats.checkpoint()
         for predicate in step.predicates:
             self.eval_by_cnode_only(predicate, candidates)
         if step.predicates and not any(self._position_dependent(p) for p in step.predicates):

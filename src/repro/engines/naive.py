@@ -78,6 +78,7 @@ class _Evaluation:
     # ------------------------------------------------------------------
     def evaluate(self, expression: Expression, context: Context) -> XPathValue:
         self.stats.expression_evaluations += 1
+        self.stats.checkpoint()
         if isinstance(expression, NumberLiteral):
             return expression.value
         if isinstance(expression, StringLiteral):

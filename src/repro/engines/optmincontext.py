@@ -186,6 +186,7 @@ class OptMinContextEvaluator(MinContextEvaluator):
 
     def _backward_step(self, step, targets: set[Node]) -> set[Node]:
         self.stats.location_step_applications += 1
+        self.stats.checkpoint()
         filtered = {node for node in targets if step.node_test.matches(node, step.axis)}
         if not filtered:
             return set()

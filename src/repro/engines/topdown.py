@@ -71,6 +71,7 @@ class _VectorEvaluator:
     # ------------------------------------------------------------------
     def eval_expression(self, expression: Expression, contexts: Sequence[Context]) -> list[XPathValue]:
         self.stats.expression_evaluations += len(contexts)
+        self.stats.checkpoint()
         if isinstance(expression, NumberLiteral):
             return [expression.value] * len(contexts)
         if isinstance(expression, StringLiteral):
@@ -176,6 +177,7 @@ class _VectorEvaluator:
             self.stats.location_step_applications += 1
             candidates = step_candidates(source, step.axis, step.node_test)
             self.stats.axis_nodes_visited += len(candidates)
+            self.stats.checkpoint()
             pairs[source] = proximity_order(candidates, step.axis)
 
         for predicate in step.predicates:

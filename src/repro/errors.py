@@ -63,6 +63,33 @@ class XPathEvaluationError(ReproError):
     """
 
 
+class ResourceLimitExceeded(XPathEvaluationError):
+    """A cooperative resource limit was hit during evaluation.
+
+    Raised when an :class:`~repro.engines.base.EvalLimits` budget — operation
+    count, wall-clock timeout, or result-node cap — is exhausted.  The
+    exception carries the *partial* evaluation statistics accumulated up to
+    the point of abortion, so callers (and :class:`~repro.session.XPathSession`
+    aggregation) can still account for the work performed.
+
+    Attributes
+    ----------
+    limit:
+        Name of the limit that was exceeded: ``"max_operations"``,
+        ``"timeout_seconds"`` or ``"max_result_nodes"``.
+    limits:
+        The :class:`~repro.engines.base.EvalLimits` in force.
+    stats:
+        The partial :class:`~repro.engines.base.EvaluationStats` at abort time.
+    """
+
+    def __init__(self, limit: str, message: str, *, limits=None, stats=None):
+        self.limit = limit
+        self.limits = limits
+        self.stats = stats
+        super().__init__(message)
+
+
 class FragmentError(XPathEvaluationError):
     """A query falls outside the fragment supported by the chosen engine.
 

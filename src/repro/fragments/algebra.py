@@ -149,6 +149,21 @@ class DomIfRoot:
         return f"dom/root({self.operand.render()})"
 
 
+@dataclass(frozen=True)
+class DomIfNonempty:
+    """dom if S ≠ ∅, else ∅ — context-independent existential predicates.
+
+    Used for predicates whose truth does not depend on the context node,
+    e.g. ``[id('k')/π]`` in XPatterns: the id literal seeds a fixed node
+    set, so the predicate holds everywhere or nowhere.
+    """
+
+    operand: "AlgebraExpr"
+
+    def render(self) -> str:
+        return f"dom-if-nonempty({self.operand.render()})"
+
+
 AlgebraExpr = Union[
     ContextSet,
     RootSet,
@@ -162,13 +177,17 @@ AlgebraExpr = Union[
     UnionOp,
     Complement,
     DomIfRoot,
+    DomIfNonempty,
 ]
 
 
 def algebra_size(expression: AlgebraExpr) -> int:
     """Number of operations in an algebra expression (plan size)."""
     children: list[AlgebraExpr] = []
-    if isinstance(expression, (AxisApply, InverseAxisApply, IdApply, Complement, DomIfRoot)):
+    if isinstance(
+        expression,
+        (AxisApply, InverseAxisApply, IdApply, Complement, DomIfRoot, DomIfNonempty),
+    ):
         children = [expression.operand]
     elif isinstance(expression, (Intersect, UnionOp)):
         children = [expression.left, expression.right]
@@ -179,16 +198,24 @@ class AlgebraEvaluator:
     """Evaluate algebra expressions over one document.
 
     ``operations_performed`` counts O(|dom|) set operations — the quantity
-    bounded by O(|Q|) in Theorem 10.5.
+    bounded by O(|Q|) in Theorem 10.5.  When ``stats`` is given (the
+    fragment engines pass their :class:`~repro.engines.base.EvaluationStats`),
+    each operation is also bumped there as ``algebra_evaluations`` and
+    checkpointed, so resource limits interrupt algebra evaluation
+    cooperatively.
     """
 
-    def __init__(self, document: Document):
+    def __init__(self, document: Document, stats=None):
         self.document = document
         self.operations_performed = 0
+        self.stats = stats
         self._string_match_cache: dict[tuple[str, bool], frozenset[Node]] = {}
 
     def evaluate(self, expression: AlgebraExpr, context_set: frozenset[Node]) -> set[Node]:
         self.operations_performed += 1
+        if self.stats is not None:
+            self.stats.bump("algebra_evaluations")
+            self.stats.checkpoint()
         if isinstance(expression, Intersect):
             fused = self._fused_axis_test(expression, context_set)
             if fused is not None:
@@ -230,6 +257,9 @@ class AlgebraEvaluator:
         if isinstance(expression, DomIfRoot):
             inner = self.evaluate(expression.operand, context_set)
             return self.document.dom_set if self.document.root in inner else set()
+        if isinstance(expression, DomIfNonempty):
+            inner = self.evaluate(expression.operand, context_set)
+            return self.document.dom_set if inner else set()
         raise TypeError(f"unknown algebra expression {expression!r}")  # pragma: no cover
 
     def _fused_axis_test(
@@ -255,6 +285,9 @@ class AlgebraEvaluator:
             # posting-list answer to be the same as matches() filtering.
             return None
         self.operations_performed += 2
+        if self.stats is not None:
+            self.stats.bump("algebra_evaluations", 2)
+            self.stats.checkpoint()
         operand = self.evaluate(apply_expr.operand, context_set)
         return axis_test_set(self.document, operand, apply_expr.axis, test_expr.test)
 

@@ -203,9 +203,10 @@ class CoreXPathEngine(XPathEngine):
         # evaluations (plan-cache hits, Collection batches) skip compilation.
         algebra_plan = plan.algebra_plan(self.compiler_class)
         stats.bump("algebra_operations", algebra_size(algebra_plan))
-        evaluator = AlgebraEvaluator(static_context.document)
+        # The evaluator bumps algebra_evaluations (and checkpoints resource
+        # limits) per operation as it runs.
+        evaluator = AlgebraEvaluator(static_context.document, stats)
         result = evaluator.evaluate(algebra_plan, frozenset({context.node}))
-        stats.bump("algebra_evaluations", evaluator.operations_performed)
         return NodeSet(result)
 
     def _accepts_plan(self, plan) -> bool:

@@ -38,6 +38,8 @@ from .algebra import (
     AlgebraExpr,
     AxisApply,
     ContextSet,
+    DomIfNonempty,
+    DomSet,
     IdApply,
     Intersect,
     InverseAxisApply,
@@ -181,6 +183,14 @@ class XPatternsCompiler(CoreXPathCompiler):
 
     # -- E1 extension: "π = 's'" ----------------------------------------
     def compile_predicate(self, expression: Expression) -> AlgebraExpr:
+        # Bare id(...) predicates: [id(π)] holds wherever π reaches a node
+        # whose string value references any id at all; [id(π)/π2] wherever
+        # the whole path is non-empty.  The membership test accepts these,
+        # so the compiler must too.
+        if isinstance(expression, FunctionCall) and _is_id_start(expression):
+            return self._backward_id_start(expression, DomSet())
+        if isinstance(expression, PathExpr) and _is_id_start(expression.start):
+            return self._backward_with_target(expression, DomSet())
         if isinstance(expression, BinaryOp) and expression.op in ("=", "!="):
             left, right = expression.left, expression.right
             literal: StringLiteral | None = None
@@ -226,9 +236,10 @@ class XPatternsCompiler(CoreXPathCompiler):
             argument = start.args[0]
             inner = IdApply(downstream, inverse=True)
             if isinstance(argument, StringLiteral):
-                # id('k') is context independent; the predicate holds wherever
-                # the referenced nodes intersect the downstream requirement.
-                return Intersect(_IdLiteral(argument.value), downstream)
+                # id('k') is context independent: the predicate holds at
+                # *every* node iff the referenced nodes intersect the
+                # downstream requirement, and nowhere otherwise.
+                return DomIfNonempty(Intersect(_IdLiteral(argument.value), downstream))
             return self._backward_with_target(argument, inner)
         raise FragmentError(f"unsupported path start in XPatterns: {start.to_xpath()}")
 
@@ -257,11 +268,13 @@ class XPatternsEngine(CoreXPathEngine):
             def evaluate(self, algebra_expression, context_set):
                 if isinstance(algebra_expression, _IdLiteral):
                     self.operations_performed += 1
+                    if self.stats is not None:
+                        self.stats.bump("algebra_evaluations")
+                        self.stats.checkpoint()
                     return set(self.document.deref_ids(algebra_expression.value))
                 return super().evaluate(algebra_expression, context_set)
 
         stats.bump("algebra_operations", algebra_size(algebra_plan))
-        evaluator = _Evaluator(static_context.document)
+        evaluator = _Evaluator(static_context.document, stats)
         result = evaluator.evaluate(algebra_plan, frozenset({context.node}))
-        stats.bump("algebra_evaluations", evaluator.operations_performed)
         return NodeSet(result)

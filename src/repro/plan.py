@@ -180,9 +180,11 @@ class CompiledQuery:
         return self._engine().select(self, document, context, variables)
 
     def _engine(self):
-        from .api import get_engine  # local import to avoid a cycle
+        from .api import default_session  # local import to avoid a cycle
 
-        return get_engine(self.engine_name)
+        # Pooled per-session instances: repeated plan evaluations do not
+        # re-instantiate the engine.
+        return default_session().engine(self.engine_name)
 
     def describe(self) -> str:  # pragma: no cover - debugging aid
         return (

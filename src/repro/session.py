@@ -1,0 +1,514 @@
+"""Session-scoped evaluation: :class:`XPathSession` and :class:`QueryResult`.
+
+The module-level convenience API (``repro.select`` and friends) is a thin
+veneer over this layer.  An :class:`XPathSession` is the unit of isolation
+for one client / tenant of the library: it owns
+
+* its own :class:`~repro.plan.PlanCache` — two sessions never share compiled
+  plans or cache statistics;
+* a pool of engine instances, created once per engine name and reused for
+  every call (the pre-session API instantiated a fresh engine per query);
+* a default engine-selection policy (a concrete engine name, or ``"auto"``
+  to resolve per query from the Figure-1 fragment classification);
+* default variable bindings merged under each call's own ``variables``;
+* an :class:`~repro.engines.base.EvalLimits` applied to every evaluation
+  (overridable per call), enforced cooperatively inside the engines'
+  operation counters;
+* aggregated :class:`SessionStats` across all queries the session served.
+
+Every session call returns a :class:`QueryResult` carrying the value *and*
+the provenance the paper says matters — which fragment the query fell into,
+which algorithm ran, whether the plan came from the cache, and the
+deterministic operation counters — with :meth:`QueryResult.explain`
+rendering the whole decision as text.
+
+Typical usage::
+
+    from repro import XPathSession, EvalLimits
+
+    session = XPathSession(engine="auto",
+                           limits=EvalLimits(max_operations=1_000_000))
+    doc = session.parse("<a><b>1</b><b>2</b></a>")
+
+    result = session.run("//b[. = '2']", doc)
+    result.nodes                  # the match, in document order
+    result.engine_name            # 'corexpath' — resolved from the fragment
+    result.cache_hit              # False on first sight, True after
+    print(result.explain())       # plan / fragment / engine / stats report
+
+    session.select("//b", doc)    # plain list[Node], same session state
+    session.stats.queries         # aggregated across all calls
+
+Sessions are not thread-safe; give each worker thread its own session (they
+are cheap — engines and plans are created lazily).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Optional, Sequence, Union
+
+from .engines.base import EvalLimits, EvaluationStats, XPathEngine
+from .engines.bottomup import BottomUpEngine
+from .engines.datapool import DataPoolEngine
+from .engines.mincontext import MinContextEngine
+from .engines.naive import NaiveEngine
+from .engines.optmincontext import OptMinContextEngine
+from .engines.topdown import TopDownEngine
+from .errors import ReproError, ResourceLimitExceeded, XPathEvaluationError
+from .fragments.classify import Classification
+from .fragments.core_xpath import CoreXPathEngine
+from .fragments.xpatterns import XPatternsEngine
+from .plan import DEFAULT_ENGINE, CompiledQuery, PlanCache, plan_for
+from .xmlmodel.document import Document
+from .xmlmodel.nodes import Node
+from .xmlmodel.parser import parse_xml
+from .xpath.context import Context
+from .xpath.values import NodeSet, XPathValue
+
+#: Registry of all engines by name (re-exported as ``repro.api.ENGINE_CLASSES``).
+ENGINE_CLASSES: dict[str, type[XPathEngine]] = {
+    NaiveEngine.name: NaiveEngine,
+    DataPoolEngine.name: DataPoolEngine,
+    BottomUpEngine.name: BottomUpEngine,
+    TopDownEngine.name: TopDownEngine,
+    MinContextEngine.name: MinContextEngine,
+    OptMinContextEngine.name: OptMinContextEngine,
+    CoreXPathEngine.name: CoreXPathEngine,
+    XPatternsEngine.name: XPatternsEngine,
+}
+
+QueryLike = Union[str, CompiledQuery, object]
+
+
+# ----------------------------------------------------------------------
+# Aggregated per-session statistics
+# ----------------------------------------------------------------------
+@dataclass
+class SessionStats:
+    """Counters aggregated over every query a session has served.
+
+    ``total_work`` sums the engines' :meth:`EvaluationStats.total_work`
+    scalar — including the partial work of evaluations aborted by a
+    resource limit, which also increment ``limit_breaches``.
+    """
+
+    queries: int = 0
+    errors: int = 0
+    limit_breaches: int = 0
+    total_seconds: float = 0.0
+    total_work: int = 0
+    engine_use: dict[str, int] = field(default_factory=dict)
+
+    def record(
+        self,
+        engine_name: str,
+        stats: Optional[EvaluationStats],
+        elapsed_seconds: float,
+        *,
+        error: bool = False,
+        limit_breach: bool = False,
+    ) -> None:
+        """Fold one finished (or aborted) evaluation into the aggregates."""
+        self.queries += 1
+        self.total_seconds += elapsed_seconds
+        if stats is not None:
+            self.total_work += stats.total_work()
+        self.engine_use[engine_name] = self.engine_use.get(engine_name, 0) + 1
+        if error:
+            self.errors += 1
+        if limit_breach:
+            self.limit_breaches += 1
+
+    def record_failure(
+        self, engine_name: str, elapsed_seconds: float, error: ReproError
+    ) -> None:
+        """Fold a failed evaluation in, classifying limit breaches and
+        salvaging the partial stats a :class:`ResourceLimitExceeded` carries."""
+        self.record(
+            engine_name,
+            getattr(error, "stats", None),
+            elapsed_seconds,
+            error=True,
+            limit_breach=isinstance(error, ResourceLimitExceeded),
+        )
+
+    def as_dict(self) -> dict:
+        return {
+            "queries": self.queries,
+            "errors": self.errors,
+            "limit_breaches": self.limit_breaches,
+            "total_seconds": self.total_seconds,
+            "total_work": self.total_work,
+            "engine_use": dict(self.engine_use),
+        }
+
+
+# ----------------------------------------------------------------------
+# QueryResult
+# ----------------------------------------------------------------------
+@dataclass
+class QueryResult:
+    """One evaluated query, with full provenance.
+
+    Returned by :meth:`XPathSession.run` (and the module-level
+    :func:`repro.api.run`).  The payload is :attr:`value`; everything else
+    records *how* the answer was produced: the compiled plan (and through it
+    the Figure-1 classification), the engine that ran, whether the plan was
+    a cache hit, the engine's deterministic operation counters, the limits
+    in force, and the wall-clock time.
+    """
+
+    #: The XPath value (number / string / boolean / node set).
+    value: XPathValue
+    #: The compiled plan that produced the value.
+    plan: CompiledQuery
+    #: Name of the engine that evaluated the plan.
+    engine_name: str
+    #: ``True``/``False`` for string queries served through the session's
+    #: plan cache; ``None`` when the caller supplied a prebuilt plan or AST
+    #: (nothing to look up).
+    cache_hit: Optional[bool]
+    #: Operation counters of this evaluation.
+    stats: EvaluationStats
+    #: Wall-clock seconds spent in the engine (excludes plan compilation).
+    elapsed_seconds: float
+    #: The limits that were in force (the session's, unless overridden).
+    limits: EvalLimits = field(default_factory=EvalLimits)
+
+    # -- payload accessors ---------------------------------------------
+    @property
+    def is_node_set(self) -> bool:
+        return isinstance(self.value, NodeSet)
+
+    @property
+    def nodes(self) -> list[Node]:
+        """The result nodes in document order (node-set results only)."""
+        if not isinstance(self.value, NodeSet):
+            raise XPathEvaluationError(
+                f"query does not produce a node set (got {type(self.value).__name__})"
+            )
+        return list(self.value.in_document_order())
+
+    # -- provenance accessors ------------------------------------------
+    @property
+    def classification(self) -> Classification:
+        return self.plan.classification
+
+    @property
+    def fragment_name(self) -> str:
+        return self.plan.fragment_name
+
+    def explain(self, *, include_timing: bool = True) -> str:
+        """Render the plan / fragment / engine decision and the counters.
+
+        The output is deterministic except for the final ``time:`` line,
+        which ``include_timing=False`` omits (the golden tests do).
+        """
+        summary = (
+            f"node-set, {len(self.value)} node(s)"
+            if isinstance(self.value, NodeSet)
+            else f"{type(self.value).__name__} = {self.value!r}"
+        )
+        return render_explanation(
+            self.plan,
+            cache_hit=self.cache_hit,
+            limits=self.limits,
+            result_summary=summary,
+            stats=self.stats,
+            elapsed_seconds=self.elapsed_seconds if include_timing else None,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        payload = (
+            f"{len(self.value)} nodes" if isinstance(self.value, NodeSet) else repr(self.value)
+        )
+        return (
+            f"<QueryResult {self.plan.source or self.plan.to_xpath()!r}: "
+            f"{payload} via {self.engine_name}>"
+        )
+
+
+def render_explanation(
+    plan: CompiledQuery,
+    *,
+    cache_hit: Optional[bool] = None,
+    limits: Optional[EvalLimits] = None,
+    result_summary: Optional[str] = None,
+    stats: Optional[EvaluationStats] = None,
+    elapsed_seconds: Optional[float] = None,
+) -> str:
+    """The text report behind ``QueryResult.explain()`` and ``cli explain``.
+
+    Also usable for a compile-only explanation (no result / stats / time),
+    which is what :meth:`XPathSession.explain` produces without a document.
+    """
+    lines = []
+    if plan.source is not None:
+        lines.append(f"query:      {plan.source}")
+    lines.append(f"normalized: {plan.to_xpath()}")
+    classification = plan.classification
+    lines.append(f"fragment:   {classification.fragment.value}  [{classification.complexity}]")
+    notes = []
+    if plan.requested_engine == "auto":
+        notes.append("resolved from 'auto'")
+    if plan.engine_name == classification.recommended_engine:
+        notes.append("recommended for this fragment")
+    else:
+        notes.append(f"fragment recommends {classification.recommended_engine}")
+    lines.append(f"engine:     {plan.engine_name}  ({', '.join(notes)})")
+    if cache_hit is not None:
+        lines.append(f"cache:      {'hit' if cache_hit else 'miss (compiled)'}")
+    if limits is not None:
+        lines.append(f"limits:     {limits.describe()}")
+    if result_summary is not None:
+        lines.append(f"result:     {result_summary}")
+    if stats is not None:
+        counters = ", ".join(
+            f"{name}={count}" for name, count in stats.as_dict().items() if count
+        )
+        lines.append(f"stats:      {counters or 'none'}")
+    if elapsed_seconds is not None:
+        lines.append(f"time:       {elapsed_seconds * 1000:.3f} ms")
+    return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# XPathSession
+# ----------------------------------------------------------------------
+class XPathSession:
+    """Isolated evaluation state for one client of the library.
+
+    Parameters
+    ----------
+    engine:
+        Default engine name for string queries (``"auto"`` resolves per
+        query from the fragment classification).  Defaults to
+        :data:`~repro.plan.DEFAULT_ENGINE`.
+    cache:
+        A :class:`~repro.plan.PlanCache` to adopt; by default the session
+        creates its own of ``cache_size`` entries.
+    limits:
+        Session-wide :class:`~repro.engines.base.EvalLimits`, applied to
+        every call unless the call overrides them.
+    variables:
+        Default variable bindings, merged *under* each call's own
+        ``variables`` mapping.
+    """
+
+    def __init__(
+        self,
+        *,
+        engine: Optional[str] = None,
+        cache: Optional[PlanCache] = None,
+        cache_size: int = 256,
+        limits: Optional[EvalLimits] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ):
+        self.default_engine = engine if engine is not None else DEFAULT_ENGINE
+        self.cache = cache if cache is not None else PlanCache(cache_size)
+        self.limits = limits if limits is not None else EvalLimits()
+        self.variables: dict[str, XPathValue] = dict(variables or {})
+        self.stats = SessionStats()
+        self._engines: dict[str, XPathEngine] = {}
+
+    # ------------------------------------------------------------------
+    # Engine pool
+    # ------------------------------------------------------------------
+    def engine(self, name: Optional[str] = None) -> XPathEngine:
+        """The session's pooled engine instance for ``name``, created once."""
+        if name is None:
+            name = self.default_engine
+        engine = self._engines.get(name)
+        if engine is None:
+            engine_class = ENGINE_CLASSES.get(name)
+            if engine_class is None:
+                raise XPathEvaluationError(
+                    f"unknown engine {name!r}; available: "
+                    f"{', '.join(sorted(ENGINE_CLASSES))}"
+                )
+            engine = engine_class()
+            self._engines[name] = engine
+        return engine
+
+    # ------------------------------------------------------------------
+    # Parsing front door
+    # ------------------------------------------------------------------
+    def parse(self, text: str, *, strip_whitespace: bool = False) -> Document:
+        """Parse XML text (documents are session-independent values)."""
+        return parse_xml(text, strip_whitespace=strip_whitespace)
+
+    def parse_collection(
+        self,
+        sources: Iterable[str],
+        *,
+        strip_whitespace: bool = False,
+        names: Optional[Sequence[str]] = None,
+    ):
+        """Parse XML texts into a :class:`~repro.collection.Collection`
+        bound to this session (shared plans, limits and stats)."""
+        from .collection import Collection  # local import to avoid a cycle
+
+        return Collection.from_sources(
+            sources, strip_whitespace=strip_whitespace, names=names, session=self
+        )
+
+    def collection(self, documents: Iterable[Document], names=None):
+        """Wrap parsed documents in a session-bound collection."""
+        from .collection import Collection  # local import to avoid a cycle
+
+        return Collection(documents, names=names, session=self)
+
+    # ------------------------------------------------------------------
+    # Compilation
+    # ------------------------------------------------------------------
+    def compile(
+        self,
+        query: QueryLike,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+    ) -> CompiledQuery:
+        """Compile ``query`` through this session's plan cache."""
+        plan, _ = self._plan(query, engine, self._merged(variables))
+        return plan
+
+    def _plan(
+        self,
+        query: QueryLike,
+        engine: Optional[str],
+        variables: Mapping[str, XPathValue],
+    ) -> tuple[CompiledQuery, Optional[bool]]:
+        """Resolve a query to a plan, reporting cache hit/miss for strings."""
+        requested = engine
+        if requested is None and not isinstance(query, CompiledQuery):
+            requested = self.default_engine
+        if isinstance(query, str):
+            hits_before = self.cache.stats.hits
+            plan = self.cache.get_or_compile(
+                query, engine=requested, variables=variables or None
+            )
+            return plan, self.cache.stats.hits > hits_before
+        # Prebuilt plans pass through (retargeted only on explicit mismatch);
+        # raw ASTs compile uncached — neither touches the cache.
+        plan = plan_for(query, engine=requested, variables=variables or None, cache=None)
+        return plan, None
+
+    def _merged(
+        self, variables: Optional[Mapping[str, XPathValue]]
+    ) -> dict[str, XPathValue]:
+        if not variables:
+            return dict(self.variables)
+        if not self.variables:
+            return dict(variables)
+        merged = dict(self.variables)
+        merged.update(variables)
+        return merged
+
+    # ------------------------------------------------------------------
+    # Evaluation
+    # ------------------------------------------------------------------
+    def run(
+        self,
+        query: QueryLike,
+        document: Document,
+        context: Optional[Union[Context, Node]] = None,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        limits: Optional[EvalLimits] = None,
+    ) -> QueryResult:
+        """Evaluate ``query`` and return a rich :class:`QueryResult`.
+
+        The primary entry point: plans go through the session cache, the
+        engine comes from the session pool, the session's limits apply
+        (unless ``limits`` overrides them) and the outcome — success, error
+        or limit breach — is folded into :attr:`stats`.
+        """
+        merged = self._merged(variables)
+        plan, cache_hit = self._plan(query, engine, merged)
+        effective_limits = limits if limits is not None else self.limits
+        runner = self.engine(plan.engine_name)
+        started = time.perf_counter()
+        try:
+            value = runner.evaluate(
+                plan, document, context, merged or None, limits=effective_limits
+            )
+        except ReproError as error:
+            self.stats.record_failure(
+                plan.engine_name, time.perf_counter() - started, error
+            )
+            raise
+        elapsed = time.perf_counter() - started
+        stats = runner.last_stats
+        assert stats is not None
+        self.stats.record(plan.engine_name, stats, elapsed)
+        return QueryResult(
+            value=value,
+            plan=plan,
+            engine_name=plan.engine_name,
+            cache_hit=cache_hit,
+            stats=stats,
+            elapsed_seconds=elapsed,
+            limits=effective_limits,
+        )
+
+    def evaluate(
+        self,
+        query: QueryLike,
+        document: Document,
+        context: Optional[Union[Context, Node]] = None,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        limits: Optional[EvalLimits] = None,
+    ) -> XPathValue:
+        """Evaluate and return the bare XPath value (back-compat shape)."""
+        return self.run(
+            query, document, context, engine=engine, variables=variables, limits=limits
+        ).value
+
+    def select(
+        self,
+        query: QueryLike,
+        document: Document,
+        context: Optional[Union[Context, Node]] = None,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        limits: Optional[EvalLimits] = None,
+    ) -> list[Node]:
+        """Evaluate a node-set query and return nodes in document order."""
+        return self.run(
+            query, document, context, engine=engine, variables=variables, limits=limits
+        ).nodes
+
+    def explain(
+        self,
+        query: QueryLike,
+        document: Optional[Document] = None,
+        context: Optional[Union[Context, Node]] = None,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        limits: Optional[EvalLimits] = None,
+    ) -> str:
+        """Explain a query: with a document, evaluate and report everything;
+        without one, report the compile-time decisions only."""
+        if document is None:
+            plan, cache_hit = self._plan(query, engine, self._merged(variables))
+            return render_explanation(
+                plan,
+                cache_hit=cache_hit,
+                limits=limits if limits is not None else self.limits,
+            )
+        return self.run(
+            query, document, context, engine=engine, variables=variables, limits=limits
+        ).explain()
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"<XPathSession engine={self.default_engine!r} "
+            f"plans={len(self.cache)} queries={self.stats.queries}>"
+        )

@@ -35,11 +35,26 @@ class RefRelation:
         self.document = document
         self._forward: dict[Node, list[Node]] = {}
         self._backward: dict[Node, list[Node]] = {}
+        # id() over a node set dereferences each node's *string value*
+        # (XPath §4.1); for attribute and text nodes that value is the node's
+        # own text, which the element-level ref relation does not cover.
+        # These side tables keep the paper's relation (pairs()/referenced_from)
+        # untouched while making the id axis agree with the other engines on
+        # queries like id(//review/@of).
+        self._value_forward: dict[Node, list[Node]] = {}
+        self._value_backward: dict[Node, list[Node]] = {}
         self._build()
 
     def _build(self) -> None:
         id_map = self.document.id_map()
         for node in self.document.dom:
+            if node.node_type in (NodeType.ATTRIBUTE, NodeType.TEXT):
+                targets = self._resolve_tokens(id_map, node.value or "")
+                if targets:
+                    self._value_forward[node] = targets
+                    for target in targets:
+                        self._value_backward.setdefault(target, []).append(node)
+                continue
             if node.node_type not in (NodeType.ELEMENT, NodeType.ROOT):
                 continue
             direct_text = "".join(
@@ -49,17 +64,23 @@ class RefRelation:
             )
             if not direct_text.strip():
                 continue
-            targets: list[Node] = []
-            seen: set[Node] = set()
-            for token in direct_text.split():
-                target = id_map.get(token)
-                if target is not None and target not in seen:
-                    seen.add(target)
-                    targets.append(target)
+            targets = self._resolve_tokens(id_map, direct_text)
             if targets:
                 self._forward[node] = targets
                 for target in targets:
                     self._backward.setdefault(target, []).append(node)
+
+    @staticmethod
+    def _resolve_tokens(id_map, text: str) -> list[Node]:
+        """Distinct nodes whose IDs occur as whitespace tokens of ``text``."""
+        targets: list[Node] = []
+        seen: set[Node] = set()
+        for token in text.split():
+            target = id_map.get(token)
+            if target is not None and target not in seen:
+                seen.add(target)
+                targets.append(target)
+        return targets
 
     # ------------------------------------------------------------------
     # Relation views
@@ -99,10 +120,21 @@ class RefRelation:
             targets = self._forward.get(start)
             if targets:
                 result.update(targets)
+            # Attribute/text nodes dereference their own string value.
+            targets = self._value_forward.get(start)
+            if targets:
+                result.update(targets)
         return result
 
     def id_axis_inverse(self, nodes: set[Node]) -> set[Node]:
-        """``id⁻¹(S)``: ancestor-or-self of nodes whose ref targets hit S."""
+        """``id⁻¹(S)``: the nodes x with id({x}) ∩ S ≠ ∅.
+
+        For element sources that is the ancestor-or-self closure of the
+        referencing nodes (id() of an ancestor sees the descendant's text).
+        Attribute sources contribute only themselves, because an element's
+        string value never includes attribute text; text-node sources are
+        already covered through their parent element's ref entry.
+        """
         sources: set[Node] = set()
         for target in nodes:
             sources.update(self._backward.get(target, ()))
@@ -110,6 +142,8 @@ class RefRelation:
         for source in sources:
             result.add(source)
             result.update(source.iter_ancestors())
+        for target in nodes:
+            result.update(self._value_backward.get(target, ()))
         return result
 
 

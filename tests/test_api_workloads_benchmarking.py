@@ -292,3 +292,11 @@ class TestExperimentDrivers:
         for series in result.series:
             for point in series.points:
                 assert math.isfinite(point.seconds)
+
+    def test_session_overhead_driver(self):
+        result = experiments.session_overhead_experiment(
+            repetitions=(5,), document_size=5
+        )
+        assert {series.engine_name for series in result.series} == {"raw", "session"}
+        for series in result.series:
+            assert all(math.isfinite(point.seconds) for point in series.points)

@@ -70,3 +70,62 @@ class TestCli:
         assert any(
             "engine" in action.dest for action in parser._actions
         )
+
+
+class TestCliLimits:
+    def test_max_ops_breach_exits_3(self, catalog_file, capsys):
+        assert run(["//book", catalog_file, "--engine", "naive", "--max-ops", "1"]) == 3
+        assert "limit exceeded:" in capsys.readouterr().err
+
+    def test_max_nodes_breach_exits_3(self, catalog_file, capsys):
+        assert run(["//book", catalog_file, "--max-nodes", "1"]) == 3
+        assert "limit exceeded:" in capsys.readouterr().err
+
+    def test_within_limits_succeeds(self, catalog_file, capsys):
+        assert run(
+            ["//book", catalog_file, "--max-ops", "100000", "--max-nodes", "10"]
+        ) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 2
+
+
+class TestCliExplain:
+    def test_explain_with_file_reports_everything(self, catalog_file, capsys):
+        assert run(["explain", "//book", catalog_file]) == 0
+        out = capsys.readouterr().out
+        assert "query:      //book" in out
+        assert "fragment:   Core XPath" in out
+        assert "engine:     topdown" in out
+        assert "result:     node-set, 2 node(s)" in out
+        assert "stats:" in out
+        assert "time:" in out
+
+    def test_explain_from_stdin(self, capsys):
+        assert run(["explain", "//b"], stdin="<a><b/></a>") == 0
+        assert "result:     node-set, 1 node(s)" in capsys.readouterr().out
+
+    def test_explain_plan_only_needs_no_document(self, capsys):
+        assert run(["explain", "//a/b[child::c]", "--plan-only"]) == 0
+        out = capsys.readouterr().out
+        assert "fragment:   Core XPath" in out
+        assert "result:" not in out
+        assert "time:" not in out
+
+    def test_explain_auto_engine(self, catalog_file, capsys):
+        assert run(["explain", "//book", catalog_file, "--engine", "auto"]) == 0
+        assert "resolved from 'auto'" in capsys.readouterr().out
+
+    def test_explain_limit_breach_exits_3(self, catalog_file, capsys):
+        assert (
+            run(["explain", "//book", catalog_file, "--engine", "naive", "--max-ops", "1"])
+            == 3
+        )
+        assert "limit exceeded:" in capsys.readouterr().err
+
+    def test_explain_bad_query_exits_1(self, capsys):
+        assert run(["explain", "//book[", "--plan-only"]) == 1
+        assert "error:" in capsys.readouterr().err
+
+    def test_double_dash_evaluates_query_named_explain(self, capsys):
+        # "--" is the escape hatch for a query literally named "explain".
+        assert run(["--", "explain"], stdin="<explain>x</explain>") == 0
+        assert "explain\tx" in capsys.readouterr().out

@@ -160,6 +160,42 @@ class TestXPatternsEngine:
             query, idref_doc
         )
 
+    @pytest.fixture
+    def attribute_ref_doc(self):
+        return parse_xml(
+            '<catalog><book id="b1"><title>A</title></book>'
+            '<book id="b2"><title>B</title></book>'
+            '<review of="b2">r</review></catalog>'
+        )
+
+    def test_id_of_attribute_node_set(self, attribute_ref_doc):
+        # id() over a node set dereferences each node's *string value*; for
+        # attribute nodes that is the attribute text, which the element-level
+        # ref relation does not cover (regression: xpatterns returned ∅ here
+        # while every other engine resolved the reference).
+        query = "id(//review/attribute::of)/child::title"
+        linear = XPatternsEngine().select(query, attribute_ref_doc)
+        general = TopDownEngine().select(query, attribute_ref_doc)
+        assert [n.string_value() for n in linear] == ["B"]
+        assert linear == general
+
+    def test_id_of_attribute_in_backward_predicate(self, attribute_ref_doc):
+        # Bare id(π) predicates are in the fragment (the membership test
+        # accepts them) and must therefore compile.
+        query = "//*[id(attribute::of)]"
+        linear = XPatternsEngine().select(query, attribute_ref_doc)
+        assert [n.name for n in linear] == ["review"]
+        assert linear == TopDownEngine().select(query, attribute_ref_doc)
+
+    def test_id_literal_predicate_is_context_independent(self, attribute_ref_doc):
+        # [id('k')/π] holds everywhere or nowhere (dom-if-nonempty).
+        holds = "//title[id('b2')/child::title]"
+        empty = "//title[id('zzz')/child::title]"
+        for query, expected in ((holds, 2), (empty, 0)):
+            linear = XPatternsEngine().select(query, attribute_ref_doc)
+            assert len(linear) == expected
+            assert linear == TopDownEngine().select(query, attribute_ref_doc)
+
     def test_rejects_positional_queries(self, figure8):
         with pytest.raises(FragmentError):
             XPatternsEngine().evaluate("//a[position() = 1]", figure8)
