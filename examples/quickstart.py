@@ -79,6 +79,19 @@ def main() -> None:
     print("engine use:        ", stats.engine_use)
 
     print()
+    print("== Batch traffic: collections, optionally in parallel ==")
+    # One plan over many documents; parallel=True fans the documents out
+    # over a worker pool (backend="process" scales CPU-bound batches across
+    # cores — see examples/parallel_collection.py for the full tour).
+    shelves = session.parse_collection(
+        [CATALOG, "<catalog><book year='2010'><price>10</price></book></catalog>"]
+    )
+    batch = shelves.select("//book[price < 60]", parallel=True, max_workers=2)
+    print("Matches per shelf: ", [len(r.nodes) for r in batch])
+    print("Ran on:            ",
+          f"{batch.workers} {batch.backend} workers, all ok: {batch.ok}")
+
+    print()
     print("== One-liners still work (they share a default session) ==")
     doc = repro.parse(CATALOG, strip_whitespace=True)
     print("Second book id:    ", repro.select("//book[2]", doc)[0].attribute_value("id"))

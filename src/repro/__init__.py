@@ -44,6 +44,7 @@ The classic one-liners still work, delegating to a process default session::
 
     docs = repro.parse_collection(["<a><b/></a>", "<a/>"])
     docs.select("//b")                    # one plan, every document
+    docs.select("//b", parallel=True)     # fanned out over a worker pool
 
 Repeated string queries are served by each session's transparent LRU plan
 cache (:func:`repro.plan_cache` exposes the default session's).
@@ -59,6 +60,7 @@ from .api import (
     CompiledQuery,
     EvalLimits,
     MultiQueryRun,
+    ParallelExecutor,
     PlanCache,
     PlanReport,
     QueryResult,
@@ -72,6 +74,7 @@ from .api import (
     evaluate,
     explain,
     get_engine,
+    parallel_executor,
     parse,
     parse_collection,
     plan_cache,
@@ -102,6 +105,7 @@ __all__ = [
     "EvalLimits",
     "FragmentError",
     "MultiQueryRun",
+    "ParallelExecutor",
     "PlanCache",
     "PlanReport",
     "QueryResult",
@@ -124,6 +128,7 @@ __all__ = [
     "evaluate",
     "explain",
     "get_engine",
+    "parallel_executor",
     "parse",
     "parse_collection",
     "plan_cache",

@@ -35,12 +35,17 @@ cache is the default session's cache::
     api.plan_cache().stats.hits                             # cache telemetry
 
 Batch traffic goes through collections — one plan, many documents — now
-session-aware (plans, limits and stats shared with the owning session)::
+session-aware (plans, limits and stats shared with the owning session) and
+parallelisable across worker threads or processes::
 
     docs = api.parse_collection(["<a><b/></a>", "<a><b/><b/></a>"])
     [len(r.nodes) for r in docs.select("//b")]              # → [1, 2]
     runs = docs.select_many(["//b", "//a"])                 # compiled once
     runs.plan_reports                                       # hit vs compiled
+
+    docs.select("//b", parallel=True, max_workers=4)        # ephemeral pool
+    with api.parallel_executor(backend="process") as ex:    # reusable pool
+        docs.select_many(["//b", "//a"], parallel=ex)
 
 The default engine is :class:`~repro.engines.topdown.TopDownEngine`, the
 paper's practical polynomial algorithm; ``engine="auto"`` resolves — once,
@@ -54,6 +59,7 @@ from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from .collection import BatchResult, BatchRun, Collection, MultiQueryRun, PlanReport
 from .engines.base import EvalLimits, XPathEngine
+from .parallel import ParallelExecutor
 from .errors import XPathEvaluationError
 from .fragments.classify import Classification, classify
 from .plan import (
@@ -165,6 +171,25 @@ def parse_collection(
     """
     return Collection.from_sources(
         sources, strip_whitespace=strip_whitespace, names=names
+    )
+
+
+def parallel_executor(
+    *,
+    backend: str = "thread",
+    max_workers: Optional[int] = None,
+    chunk_size: Optional[int] = None,
+) -> ParallelExecutor:
+    """Create a reusable :class:`~repro.parallel.ParallelExecutor`.
+
+    Pass it as ``parallel=`` to the collection batch entry points to share
+    one worker pool across many batches (``backend="process"`` scales
+    CPU-bound batches across cores; ``"thread"`` shares the session's plan
+    cache at near-zero setup cost).  Use as a context manager, or call
+    :meth:`~repro.parallel.ParallelExecutor.close` when done.
+    """
+    return ParallelExecutor(
+        backend=backend, max_workers=max_workers, chunk_size=chunk_size
     )
 
 
@@ -282,6 +307,7 @@ __all__ = [
     "ENGINE_CLASSES",
     "EvalLimits",
     "MultiQueryRun",
+    "ParallelExecutor",
     "PlanCache",
     "PlanReport",
     "QueryResult",
@@ -295,6 +321,7 @@ __all__ = [
     "evaluate",
     "explain",
     "get_engine",
+    "parallel_executor",
     "parse",
     "parse_collection",
     "plan_cache",

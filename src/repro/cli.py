@@ -5,6 +5,8 @@ Usage::
     python -m repro.cli QUERY [FILE] [--engine NAME] [--classify] [--stats]
                         [--max-ops N] [--max-nodes N] [--timeout S]
     python -m repro.cli explain QUERY [FILE] [--engine NAME] [--plan-only]
+    python -m repro.cli batch QUERY FILE [FILE ...] [--jobs N]
+                        [--backend thread|process] [--count]
 
 The first form reads the XML document from FILE (or stdin when omitted),
 evaluates QUERY through the default session and prints the result: one line
@@ -14,11 +16,18 @@ prints the query's plan / fragment / engine decision instead — with a
 document it also evaluates and reports counters and timing; with
 ``--plan-only`` it stops after compilation and needs no document.
 
-Resource limits (``--max-ops``, ``--max-nodes``, ``--timeout``) abort
-over-budget evaluations with exit code 3.
+The ``batch`` subcommand evaluates one query over *many* files as a
+collection: the plan is compiled once, each file is one isolated batch
+entry, and ``--jobs N`` fans the documents out over N parallel workers
+(``--backend process`` for CPU-bound scaling; the default is the thread
+backend).  One summary line is printed per file; per-file failures are
+reported inline and turn the exit code to 1 without stopping the batch.
 
-A first argument of ``explain`` selects the subcommand; to *evaluate* a
-query literally named ``explain``, put ``--`` in front of it
+Resource limits (``--max-ops``, ``--max-nodes``, ``--timeout``) abort
+over-budget evaluations with exit code 3 (per file, in ``batch``).
+
+A first argument of ``explain`` or ``batch`` selects the subcommand; to
+*evaluate* a query literally so named, put ``--`` in front of it
 (``python -m repro.cli -- explain doc.xml``).
 
 Examples::
@@ -28,6 +37,7 @@ Examples::
     python -m repro.cli "//a//a//a" huge.xml --engine naive --timeout 2.5
     python -m repro.cli explain "//book[price < 60]" catalog.xml
     python -m repro.cli explain "//a/b[child::c]" --plan-only
+    python -m repro.cli batch "//item[@id]" a.xml b.xml c.xml --jobs 4
     echo "<a><b/></a>" | python -m repro.cli "//b" --classify --stats
 """
 
@@ -40,6 +50,7 @@ from typing import Optional, Sequence
 from .api import DEFAULT_ENGINE, default_session, engine_names
 from .engines.base import EvalLimits
 from .errors import ReproError, ResourceLimitExceeded
+from .parallel import BACKENDS
 from .xmlmodel.parser import parse_xml
 from .xmlmodel.serializer import serialize_node
 from .xpath.values import NodeSet, to_string
@@ -121,6 +132,59 @@ def build_explain_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def _positive_int(text: str) -> int:
+    value = int(text)
+    if value < 1:
+        raise argparse.ArgumentTypeError(f"must be at least 1 (got {value})")
+    return value
+
+
+def build_batch_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath batch",
+        description="Evaluate one XPath query over many XML files as a "
+        "collection: the plan is compiled once, every file is an isolated "
+        "batch entry, and --jobs fans the files out over parallel workers.",
+    )
+    parser.add_argument("query", help="the XPath query")
+    parser.add_argument(
+        "files", nargs="+", metavar="FILE", help="XML input files (one batch entry each)"
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(engine_names()) + ["auto"],
+        help=f"evaluation engine (default: {DEFAULT_ENGINE}; 'auto' picks by fragment)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="evaluate the files on N parallel workers (default: serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKENDS),
+        help="worker backend for --jobs (default: thread; "
+        "process scales CPU-bound batches across cores)",
+    )
+    parser.add_argument(
+        "--max-ops", type=int, default=None, metavar="N",
+        help="per-file operation budget (breaches fail the file, exit code 3)",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="per-file cap on node-set result size",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-file wall-clock budget",
+    )
+    return parser
+
+
 def _limits_from_args(args: argparse.Namespace) -> Optional[EvalLimits]:
     if args.max_ops is None and args.max_nodes is None and args.timeout is None:
         return None
@@ -146,6 +210,8 @@ def run(argv: Optional[Sequence[str]] = None, stdin: Optional[str] = None) -> in
         argv = sys.argv[1:]
     if argv and argv[0] == "explain":
         return _run_explain(list(argv[1:]), stdin)
+    if argv and argv[0] == "batch":
+        return _run_batch(list(argv[1:]))
     return _run_evaluate(list(argv), stdin)
 
 
@@ -218,6 +284,59 @@ def _run_explain(argv: Sequence[str], stdin: Optional[str]) -> int:
     except OSError as error:
         print(f"error: {error}", file=sys.stderr)
         return 2
+
+
+def _run_batch(argv: Sequence[str]) -> int:
+    parser = build_batch_parser()
+    args = parser.parse_args(argv)
+
+    session = default_session()
+    requested = args.engine if args.engine is not None else DEFAULT_ENGINE
+    limits = _limits_from_args(args)
+
+    # Per-file isolation starts at parsing: a malformed file is reported as
+    # that file's failure while every other file still evaluates.
+    documents, names, failures = [], [], {}
+    for path in args.files:
+        try:
+            with open(path, "r", encoding="utf-8") as handle:
+                documents.append(parse_xml(handle.read()))
+            names.append(path)
+        except ReproError as error:
+            failures[path] = f"parse error: {error}"
+        except OSError as error:
+            failures[path] = f"error: {error}"
+
+    results = {}
+    limit_breached = False
+    if documents:
+        collection = session.collection(documents, names=names)
+        # --jobs/--backend imply parallel; with neither, REPRO_PARALLEL_DEFAULT
+        # still applies (resolve_executor's parallel=None semantics).
+        batch = collection.evaluate(
+            args.query,
+            engine=requested,
+            limits=limits,
+            max_workers=args.jobs,
+            backend=args.backend,
+        )
+        for result in batch:
+            if not result.ok:
+                limit_breached |= isinstance(result.error, ResourceLimitExceeded)
+                failures[result.name] = f"error: {result.error}"
+            elif isinstance(result.value, NodeSet):
+                results[result.name] = f"{len(result.value)} node(s)"
+            else:
+                results[result.name] = to_string(result.value)
+
+    for path in args.files:
+        if path in failures:
+            print(f"{path}\t{failures[path]}", file=sys.stderr)
+        else:
+            print(f"{path}\t{results[path]}")
+    if failures:
+        return 3 if limit_breached else 1
+    return 0
 
 
 def _print_value(value, *, as_xml: bool) -> None:

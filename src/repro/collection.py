@@ -44,15 +44,15 @@ Typical usage::
 
 from __future__ import annotations
 
-import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from .errors import ReproError
+from .parallel import DocumentOutcome, ParallelExecutor, evaluate_document, resolve_executor
 from .xmlmodel.document import Document
 from .xmlmodel.nodes import Node
 from .xmlmodel.parser import parse_xml
-from .xpath.values import XPathValue
+from .xpath.values import NodeSet, XPathValue
 
 
 @dataclass(frozen=True)
@@ -108,10 +108,23 @@ class BatchRun(list):
     :attr:`plan`, the :attr:`cache_hit` flag and a :attr:`report`.
     """
 
-    def __init__(self, results=(), *, plan, cache_hit: Optional[bool] = None):
+    def __init__(
+        self,
+        results=(),
+        *,
+        plan,
+        cache_hit: Optional[bool] = None,
+        backend: Optional[str] = None,
+        workers: Optional[int] = None,
+    ):
         super().__init__(results)
         self.plan = plan
         self.cache_hit = cache_hit
+        #: ``"thread"`` / ``"process"`` when the batch ran through a
+        #: :class:`~repro.parallel.ParallelExecutor`; ``None`` for serial.
+        self.backend = backend
+        #: Worker-pool size of a parallel batch; ``None`` for serial.
+        self.workers = workers
 
     @property
     def ok(self) -> bool:
@@ -239,6 +252,9 @@ class Collection:
         engine: Optional[str] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
         limits=None,
+        parallel: Union[None, bool, ParallelExecutor] = None,
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> BatchRun:
         """Evaluate one node-set query over every document.
 
@@ -247,8 +263,19 @@ class Collection:
         session's pooled engine under the session's limits, and errors —
         including per-document limit breaches — are captured per document.
         Results arrive in collection order with nodes in document order.
+
+        ``parallel=True`` fans the documents out over a worker pool
+        (``backend="thread"`` by default, ``"process"`` for CPU-bound
+        scaling; ``max_workers`` sizes the pool — giving either implies
+        ``parallel=True``), or pass a reusable
+        :class:`~repro.parallel.ParallelExecutor`.  Results, ordering,
+        per-document failures and session statistics are identical to the
+        serial path.
         """
-        return self._run_batch(query, engine, variables, limits, select_nodes=True)
+        return self._run_batch(
+            query, engine, variables, limits, select_nodes=True,
+            parallel=parallel, max_workers=max_workers, backend=backend,
+        )
 
     def evaluate(
         self,
@@ -257,9 +284,15 @@ class Collection:
         engine: Optional[str] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
         limits=None,
+        parallel: Union[None, bool, ParallelExecutor] = None,
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> BatchRun:
         """Evaluate one query of any result type over every document."""
-        return self._run_batch(query, engine, variables, limits, select_nodes=False)
+        return self._run_batch(
+            query, engine, variables, limits, select_nodes=False,
+            parallel=parallel, max_workers=max_workers, backend=backend,
+        )
 
     def select_many(
         self,
@@ -268,6 +301,9 @@ class Collection:
         engine: Optional[str] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
         limits=None,
+        parallel: Union[None, bool, ParallelExecutor] = None,
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> MultiQueryRun:
         """Evaluate several queries over the whole collection.
 
@@ -276,10 +312,13 @@ class Collection:
         |queries| compilations + |queries|·|documents| evaluations.  The
         returned :class:`MultiQueryRun`'s :attr:`~MultiQueryRun.plan_reports`
         say which plans were cache hits and which had to be compiled.
+
+        With ``parallel=True`` (or an executor) each query's batch fans out
+        over the worker pool; one pool is shared by all queries of the call.
         """
-        return MultiQueryRun(
-            self.select(query, engine=engine, variables=variables, limits=limits)
-            for query in queries
+        return self._run_many(
+            self.select, queries, engine, variables, limits,
+            parallel, max_workers, backend,
         )
 
     def evaluate_many(
@@ -289,53 +328,110 @@ class Collection:
         engine: Optional[str] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
         limits=None,
+        parallel: Union[None, bool, ParallelExecutor] = None,
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> MultiQueryRun:
         """Like :meth:`select_many`, for queries of any result type."""
-        return MultiQueryRun(
-            self.evaluate(query, engine=engine, variables=variables, limits=limits)
-            for query in queries
+        return self._run_many(
+            self.evaluate, queries, engine, variables, limits,
+            parallel, max_workers, backend,
         )
 
     # ------------------------------------------------------------------
     # Helpers
     # ------------------------------------------------------------------
+    def _run_many(
+        self, run_one, queries, engine, variables, limits,
+        parallel, max_workers, backend,
+    ) -> MultiQueryRun:
+        """Shared select_many/evaluate_many scaffolding: resolve the
+        executor once so all queries share one pool, close it if ephemeral."""
+        executor, ephemeral = resolve_executor(
+            parallel, max_workers=max_workers, backend=backend
+        )
+        try:
+            return MultiQueryRun(
+                run_one(
+                    query, engine=engine, variables=variables, limits=limits,
+                    parallel=executor if executor is not None else False,
+                )
+                for query in queries
+            )
+        finally:
+            if ephemeral and executor is not None:
+                executor.close()
     def _run_batch(
-        self, query, engine: Optional[str], variables, limits, *, select_nodes: bool
+        self,
+        query,
+        engine: Optional[str],
+        variables,
+        limits,
+        *,
+        select_nodes: bool,
+        parallel: Union[None, bool, ParallelExecutor] = False,
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
     ) -> BatchRun:
         session = self.session
         merged = session._merged(variables)
         plan, cache_hit = session._plan(query, engine, merged)
-        runner = session.engine(plan.engine_name)
         effective_limits = limits if limits is not None else session.limits
-        results = BatchRun(plan=plan, cache_hit=cache_hit)
-        for index, document in enumerate(self._documents):
-            started = time.perf_counter()
+        executor, ephemeral = resolve_executor(
+            parallel, max_workers=max_workers, backend=backend
+        )
+        if executor is None:
+            runner = session.engine(plan.engine_name)
+            outcomes = [
+                evaluate_document(
+                    runner, plan, document, index, merged or None,
+                    effective_limits, select_nodes=select_nodes,
+                )
+                for index, document in enumerate(self._documents)
+            ]
+            results = BatchRun(plan=plan, cache_hit=cache_hit)
+        else:
             try:
-                if select_nodes:
-                    nodes = runner.select(
-                        plan, document, None, merged or None, limits=effective_limits
-                    )
-                    result = BatchResult(
-                        index, self._names[index], document, nodes=nodes
-                    )
-                else:
-                    value = runner.evaluate(
-                        plan, document, None, merged or None, limits=effective_limits
-                    )
-                    result = BatchResult(
-                        index, self._names[index], document, value=value
-                    )
-            except ReproError as error:
-                session.stats.record_failure(
-                    plan.engine_name, time.perf_counter() - started, error
+                outcomes = executor.run_batch(
+                    self, plan, variables=merged or None, limits=effective_limits,
+                    select_nodes=select_nodes, session=session,
                 )
-                results.append(self._failure(index, error))
-            else:
-                session.stats.record(
-                    plan.engine_name, runner.last_stats, time.perf_counter() - started
-                )
-                results.append(result)
+            finally:
+                if ephemeral:
+                    executor.close()
+            results = BatchRun(
+                plan=plan, cache_hit=cache_hit,
+                backend=executor.backend, workers=executor.max_workers,
+            )
+        for outcome in outcomes:
+            results.append(self._fold_outcome(outcome, plan, session))
         return results
+
+    def _fold_outcome(
+        self, outcome: DocumentOutcome, plan, session
+    ) -> BatchResult:
+        """Turn one per-document outcome into a :class:`BatchResult`,
+        folding it into the session statistics exactly like the serial path
+        always did (failures pull partial stats off the error itself)."""
+        index = outcome.index
+        if outcome.error is not None:
+            session.stats.record_failure(
+                plan.engine_name, outcome.elapsed, outcome.error
+            )
+            return self._failure(index, outcome.error)
+        session.stats.record(plan.engine_name, outcome.stats, outcome.elapsed)
+        document = self._documents[index]
+        if outcome.orders is not None:
+            nodes = [document.index.nodes[order] for order in outcome.orders]
+            return BatchResult(index, self._names[index], document, nodes=nodes)
+        if outcome.value_orders is not None:
+            value = NodeSet.from_sorted(
+                document.index.nodes[order] for order in outcome.value_orders
+            )
+            return BatchResult(index, self._names[index], document, value=value)
+        return BatchResult(
+            index, self._names[index], document, value=outcome.value
+        )
 
     def _failure(self, index: int, error: ReproError) -> BatchResult:
         return BatchResult(

@@ -4,9 +4,27 @@ Every error raised by the library derives from :class:`ReproError`, so a
 caller can catch a single exception type at an API boundary.  The hierarchy
 mirrors the pipeline: XML parsing, XPath parsing/compilation, static typing,
 and runtime evaluation.
+
+All exception classes round-trip through :mod:`pickle`: the parallel
+executor's process backend ships per-document failures back to the parent
+process as-is, so classes whose ``__init__`` signature differs from the
+plain ``Exception(message)`` shape define ``__reduce__`` accordingly.
 """
 
 from __future__ import annotations
+
+
+def _restore(cls, args, attributes):
+    """Rebuild an exception without re-running its ``__init__``.
+
+    Used by the ``__reduce__`` implementations below: the subclasses fold
+    positional details into the message inside ``__init__``, so running it
+    again on unpickle would double-decorate the text.
+    """
+    error = cls.__new__(cls)
+    Exception.__init__(error, *args)
+    error.__dict__.update(attributes)
+    return error
 
 
 class ReproError(Exception):
@@ -29,6 +47,10 @@ class XMLSyntaxError(ReproError):
             message = f"{message} (line {line}, column {column})"
         super().__init__(message)
 
+    def __reduce__(self):
+        # The position is already folded into args[0]; restore it verbatim.
+        return (_restore, (type(self), self.args, {"line": self.line, "column": self.column}))
+
 
 class XPathSyntaxError(ReproError):
     """The XPath query text cannot be tokenised or parsed.
@@ -44,6 +66,9 @@ class XPathSyntaxError(ReproError):
         if position is not None:
             message = f"{message} (at offset {position})"
         super().__init__(message)
+
+    def __reduce__(self):
+        return (_restore, (type(self), self.args, {"position": self.position}))
 
 
 class XPathTypeError(ReproError):
@@ -89,6 +114,16 @@ class ResourceLimitExceeded(XPathEvaluationError):
         self.stats = stats
         super().__init__(message)
 
+    def __reduce__(self):
+        return (
+            _restore,
+            (
+                type(self),
+                self.args,
+                {"limit": self.limit, "limits": self.limits, "stats": self.stats},
+            ),
+        )
+
 
 class FragmentError(XPathEvaluationError):
     """A query falls outside the fragment supported by the chosen engine.
@@ -105,3 +140,6 @@ class VariableBindingError(XPathEvaluationError):
     def __init__(self, name: str):
         self.name = name
         super().__init__(f"no binding supplied for variable ${name}")
+
+    def __reduce__(self):
+        return (_restore, (type(self), self.args, {"name": self.name}))

@@ -1,0 +1,457 @@
+"""Parallel batch execution: many documents, many workers, one answer.
+
+A :class:`~repro.collection.Collection` guarantees per-document isolation —
+every document is evaluated independently, failures included — which makes
+its batches embarrassingly parallel.  :class:`ParallelExecutor` exploits
+that: it partitions a collection's documents into contiguous chunks, runs
+the chunks on a pool of workers, and merges the outcomes back in stable
+collection order, indistinguishable from the serial path (asserted
+node-for-node by the differential fuzz suite).
+
+Two backends:
+
+* ``"thread"`` — a :class:`~concurrent.futures.ThreadPoolExecutor` over the
+  owning session.  Workers share the session's (internally locked) plan
+  cache and draw per-thread engine instances from its pool, so the only
+  extra cost is thread scheduling.  Because the engines are pure Python,
+  the GIL serialises their CPU work; this backend is for overlap with
+  GIL-releasing work, for exercising the concurrent paths, and as the
+  cheap default when ``REPRO_PARALLEL_DEFAULT`` flips batches parallel
+  suite-wide.
+* ``"process"`` — a :class:`~concurrent.futures.ProcessPoolExecutor`.
+  Chunks of parsed documents are shipped to worker processes; each worker
+  compiles the query once through a **worker-local plan cache**, evaluates
+  its chunk on a private engine instance, and sends back per-document
+  outcomes: result *node orders* (every node's dense document-order id),
+  scalar values, pickled errors and the per-document
+  :class:`~repro.engines.base.EvaluationStats`.  The parent maps orders
+  back onto its own node objects through ``document.index.nodes``, so the
+  merged results reference the caller's documents, never worker copies.
+  This is the backend that scales CPU-bound batches across cores.
+
+Limits and statistics behave exactly like the serial path: the effective
+:class:`~repro.engines.base.EvalLimits` applies *per document inside its
+worker*, a breach fails only that document (carrying the partial stats),
+and every outcome — success or failure — is folded into the owning
+session's :class:`~repro.session.SessionStats` in collection order.
+
+Typical usage::
+
+    from repro import api
+    from repro.parallel import ParallelExecutor
+
+    docs = api.parse_collection(sources)
+    docs.select("//b", parallel=True, max_workers=4)         # ephemeral pool
+
+    with ParallelExecutor(backend="process", max_workers=4) as executor:
+        docs.select("//b", parallel=executor)                # reused pool
+        docs.evaluate_many(queries, parallel=executor)
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
+
+from .engines.base import EvalLimits, EvaluationStats
+from .errors import ReproError, XPathEvaluationError
+from .plan import CompiledQuery, PlanCache
+from .xmlmodel.document import Document
+from .xpath.values import NodeSet, XPathValue
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from .collection import Collection
+    from .session import XPathSession
+
+#: Supported worker-pool backends.
+BACKENDS = ("thread", "process")
+
+#: Environment variable that makes collection batch entry points default to
+#: ``parallel=True`` (thread backend) when the caller does not say — used to
+#: run the whole test suite through the parallel paths.
+PARALLEL_DEFAULT_ENV = "REPRO_PARALLEL_DEFAULT"
+
+
+def parallel_by_default() -> bool:
+    """True when :data:`PARALLEL_DEFAULT_ENV` asks for parallel batches."""
+    value = os.environ.get(PARALLEL_DEFAULT_ENV, "").strip().lower()
+    return value not in ("", "0", "false", "no", "off")
+
+
+def default_max_workers() -> int:
+    """Worker count when the caller does not choose: the visible CPUs, ≤ 4."""
+    try:
+        cpus = len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux fallback
+        cpus = os.cpu_count() or 1
+    return max(1, min(4, cpus))
+
+
+# ----------------------------------------------------------------------
+# Per-document outcomes (the worker → parent wire format)
+# ----------------------------------------------------------------------
+@dataclass
+class DocumentOutcome:
+    """What one document's evaluation produced, in process-portable form.
+
+    Nodes never cross the wire as objects: node-set results are carried as
+    their dense document-order ids (``node.order``), which the parent maps
+    back through ``document.index.nodes`` — the identical node objects in
+    the thread backend, the caller's own nodes (not worker copies) in the
+    process backend.
+    """
+
+    #: Position of the document in the collection.
+    index: int
+    #: Node orders of a ``select`` result (``None`` on error / for values).
+    orders: Optional[list[int]] = None
+    #: Scalar result of an ``evaluate`` call (``None`` for node sets/errors).
+    value: Optional[XPathValue] = None
+    #: Node orders of a node-set ``evaluate`` result.
+    value_orders: Optional[list[int]] = None
+    #: The per-document failure, when evaluation raised.
+    error: Optional[ReproError] = None
+    #: The evaluation's operation counters (partial on a limit breach).
+    stats: Optional[EvaluationStats] = None
+    #: Wall-clock seconds spent evaluating this document.
+    elapsed: float = 0.0
+
+
+def evaluate_document(
+    runner,
+    plan: CompiledQuery,
+    document: Document,
+    index: int,
+    variables: Optional[Mapping[str, XPathValue]],
+    limits: Optional[EvalLimits],
+    *,
+    select_nodes: bool,
+) -> DocumentOutcome:
+    """Evaluate one document and capture the outcome, never raising.
+
+    The single evaluation step both the serial batch loop and every worker
+    backend share, so their per-document semantics (error isolation, limit
+    enforcement, stats capture) cannot drift apart.
+    """
+    started = time.perf_counter()
+    try:
+        value = runner.evaluate(plan, document, None, variables, limits=limits)
+    except ReproError as error:
+        return DocumentOutcome(
+            index,
+            error=error,
+            stats=getattr(error, "stats", None),
+            elapsed=time.perf_counter() - started,
+        )
+    elapsed = time.perf_counter() - started
+    outcome = DocumentOutcome(index, stats=runner.last_stats, elapsed=elapsed)
+    if select_nodes:
+        if not isinstance(value, NodeSet):
+            # Same failure the serial path reports through engine.select().
+            outcome.error = XPathEvaluationError(
+                f"query does not produce a node set (got {type(value).__name__})"
+            )
+            return outcome
+        outcome.orders = [node.order for node in value.in_document_order()]
+    elif isinstance(value, NodeSet):
+        outcome.value_orders = [node.order for node in value.in_document_order()]
+    else:
+        outcome.value = value
+    return outcome
+
+
+# ----------------------------------------------------------------------
+# Process-backend workers
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class _PlanSpec:
+    """How a worker process obtains the plan: recompile or unpickle.
+
+    Shipping the query *source* is both cheaper on the wire and lets the
+    worker hit its process-local plan cache across chunks; plans without
+    source text (compiled from raw ASTs) travel as pickled plans.
+    """
+
+    source: Optional[str]
+    engine_name: str
+    plan: Optional[CompiledQuery] = None
+
+
+#: Process-local plan cache: one per worker process, shared by every chunk
+#: that worker serves, so a 100-document batch compiles the query once per
+#: worker instead of once per chunk.
+_WORKER_PLAN_CACHE: Optional[PlanCache] = None
+
+
+def _worker_plan(
+    spec: _PlanSpec, variables: Optional[Mapping[str, XPathValue]]
+) -> CompiledQuery:
+    global _WORKER_PLAN_CACHE
+    if spec.source is None:
+        assert spec.plan is not None
+        return spec.plan
+    if _WORKER_PLAN_CACHE is None:
+        _WORKER_PLAN_CACHE = PlanCache()
+    return _WORKER_PLAN_CACHE.get_or_compile(
+        spec.source, engine=spec.engine_name, variables=variables
+    )
+
+
+def _process_chunk(
+    spec: _PlanSpec,
+    chunk: Sequence[tuple[int, Document]],
+    variables: Optional[Mapping[str, XPathValue]],
+    limits: Optional[EvalLimits],
+    select_nodes: bool,
+) -> list[DocumentOutcome]:
+    """Worker-process entry point: evaluate one chunk on a private engine."""
+    from .session import ENGINE_CLASSES  # deferred: workers import lazily
+
+    plan = _worker_plan(spec, variables)
+    runner = ENGINE_CLASSES[plan.engine_name]()
+    return [
+        evaluate_document(
+            runner, plan, document, index, variables, limits,
+            select_nodes=select_nodes,
+        )
+        for index, document in chunk
+    ]
+
+
+def _ensure_process_portable(
+    variables: Optional[Mapping[str, XPathValue]],
+) -> None:
+    """Reject bindings the process backend cannot ship faithfully."""
+    for name, value in (variables or {}).items():
+        if isinstance(value, NodeSet):
+            raise XPathEvaluationError(
+                f"variable ${name} is bound to a node set; the process "
+                f"backend cannot ship nodes across processes — use the "
+                f"thread backend for node-set variables"
+            )
+
+
+# ----------------------------------------------------------------------
+# The executor
+# ----------------------------------------------------------------------
+class ParallelExecutor:
+    """A reusable worker pool that evaluates collection batches in parallel.
+
+    Parameters
+    ----------
+    backend:
+        ``"thread"`` (default) or ``"process"`` — see the module docstring
+        for the trade-off.
+    max_workers:
+        Pool size; defaults to :func:`default_max_workers`.
+    chunk_size:
+        Documents per worker task.  Defaults to an even split of the batch
+        over the workers (one task per worker), which minimises shipping
+        overhead; set it smaller for skewed per-document costs.
+
+    The underlying pool is created lazily on first use and reused across
+    batches; :meth:`close` (or the context-manager form) releases it.
+    Executors are thread-safe and may serve several collections at once.
+    """
+
+    def __init__(
+        self,
+        *,
+        backend: str = "thread",
+        max_workers: Optional[int] = None,
+        chunk_size: Optional[int] = None,
+    ):
+        if backend not in BACKENDS:
+            raise ValueError(
+                f"unknown parallel backend {backend!r}; choose from {BACKENDS}"
+            )
+        if max_workers is not None and max_workers < 1:
+            raise ValueError("max_workers must be at least 1")
+        if chunk_size is not None and chunk_size < 1:
+            raise ValueError("chunk_size must be at least 1")
+        self.backend = backend
+        self.max_workers = max_workers if max_workers is not None else default_max_workers()
+        self.chunk_size = chunk_size
+        self._pool = None
+        self._lock = threading.Lock()
+
+    # ------------------------------------------------------------------
+    # Pool lifecycle
+    # ------------------------------------------------------------------
+    def _ensure_pool(self):
+        with self._lock:
+            if self._pool is None:
+                if self.backend == "thread":
+                    self._pool = ThreadPoolExecutor(
+                        max_workers=self.max_workers,
+                        thread_name_prefix="repro-parallel",
+                    )
+                else:
+                    self._pool = ProcessPoolExecutor(max_workers=self.max_workers)
+            return self._pool
+
+    def close(self) -> None:
+        """Shut the worker pool down (idempotent; the executor may be reused —
+        a later batch lazily builds a fresh pool)."""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            pool.shutdown(wait=True)
+
+    def __enter__(self) -> "ParallelExecutor":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # ------------------------------------------------------------------
+    # Batch execution
+    # ------------------------------------------------------------------
+    def run_batch(
+        self,
+        collection: "Collection",
+        plan: CompiledQuery,
+        *,
+        variables: Optional[Mapping[str, XPathValue]],
+        limits: Optional[EvalLimits],
+        select_nodes: bool,
+        session: "XPathSession",
+    ) -> list[DocumentOutcome]:
+        """Evaluate ``plan`` over every document, in parallel, in order.
+
+        Returns one :class:`DocumentOutcome` per document, in collection
+        order, with per-document failures captured exactly like the serial
+        path.  The caller (:meth:`Collection._run_batch`) folds the
+        outcomes into :class:`~repro.collection.BatchResult` objects and
+        the session statistics.
+
+        Known wire cost of the process backend: every call ships its chunk
+        documents to the workers, so a multi-query run over one collection
+        re-ships the documents once per query.  Worker-side document
+        caching would need a miss-and-retry protocol (chunk→worker
+        assignment is nondeterministic); per-batch shipping is the simple
+        correct trade-off for the CPU-bound workloads this backend targets.
+        """
+        documents = collection.documents
+        if not documents:
+            return []
+        chunks = self._chunks(len(documents))
+        pool = self._ensure_pool()
+        if self.backend == "thread":
+            futures = [
+                pool.submit(
+                    self._thread_chunk,
+                    session, plan, documents, chunk, variables, limits,
+                    select_nodes,
+                )
+                for chunk in chunks
+            ]
+        else:
+            _ensure_process_portable(variables)
+            spec = _PlanSpec(
+                source=plan.source,
+                engine_name=plan.engine_name,
+                plan=plan if plan.source is None else None,
+            )
+            futures = [
+                pool.submit(
+                    _process_chunk,
+                    spec,
+                    [(index, documents[index]) for index in chunk],
+                    variables, limits, select_nodes,
+                )
+                for chunk in chunks
+            ]
+        # Chunks are contiguous, ascending index ranges; gathering in
+        # submission order restores collection order without a sort.
+        outcomes: list[DocumentOutcome] = []
+        for future in futures:
+            outcomes.extend(future.result())
+        return outcomes
+
+    @staticmethod
+    def _thread_chunk(
+        session: "XPathSession",
+        plan: CompiledQuery,
+        documents: Sequence[Document],
+        chunk: range,
+        variables: Optional[Mapping[str, XPathValue]],
+        limits: Optional[EvalLimits],
+        select_nodes: bool,
+    ) -> list[DocumentOutcome]:
+        # session.engine() pools per (name, thread): each worker thread gets
+        # its own instance, so concurrent chunks never share last_stats.
+        runner = session.engine(plan.engine_name)
+        return [
+            evaluate_document(
+                runner, plan, documents[index], index, variables, limits,
+                select_nodes=select_nodes,
+            )
+            for index in chunk
+        ]
+
+    def _chunks(self, count: int) -> list[range]:
+        size = self.chunk_size
+        if size is None:
+            size = max(1, -(-count // self.max_workers))  # ceil division
+        return [range(start, min(start + size, count)) for start in range(0, count, size)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "idle" if self._pool is None else "pooled"
+        return (
+            f"<ParallelExecutor backend={self.backend!r} "
+            f"workers={self.max_workers} {state}>"
+        )
+
+
+# ----------------------------------------------------------------------
+# Resolution of the collection-level ``parallel=`` argument
+# ----------------------------------------------------------------------
+def resolve_executor(
+    parallel: Union[None, bool, ParallelExecutor],
+    *,
+    max_workers: Optional[int] = None,
+    backend: Optional[str] = None,
+) -> tuple[Optional[ParallelExecutor], bool]:
+    """Turn the batch entry points' ``parallel=`` argument into an executor.
+
+    Returns ``(executor, ephemeral)``: ``executor`` is ``None`` for the
+    serial path; ``ephemeral`` tells the caller to close the pool after the
+    batch (true only when this call created it).
+
+    * ``parallel=None`` (the default) goes parallel when ``max_workers`` or
+      ``backend`` is given explicitly (they imply the intent), otherwise
+      consults :data:`PARALLEL_DEFAULT_ENV`;
+    * ``parallel=False`` forces the serial path (and rejects the parallel
+      tuning arguments as contradictory);
+    * ``parallel=True`` builds an ephemeral executor from ``backend`` /
+      ``max_workers``;
+    * a :class:`ParallelExecutor` is used as given (and left open).
+    """
+    if isinstance(parallel, ParallelExecutor):
+        if max_workers is not None or backend is not None:
+            raise ValueError(
+                "pass max_workers/backend to the ParallelExecutor, "
+                "not alongside one"
+            )
+        return parallel, False
+    if parallel is None:
+        # An explicit tuning argument implies parallel intent, so behaviour
+        # does not flip with the REPRO_PARALLEL_DEFAULT environment.
+        parallel = (
+            max_workers is not None
+            or backend is not None
+            or parallel_by_default()
+        )
+    if not parallel:
+        if max_workers is not None or backend is not None:
+            raise ValueError("max_workers/backend require parallel=True")
+        return None, False
+    return (
+        ParallelExecutor(backend=backend or "thread", max_workers=max_workers),
+        True,
+    )

@@ -33,6 +33,7 @@ Typical usage::
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Hashable, Iterable, Mapping, Optional, Union
@@ -151,6 +152,11 @@ class CompiledQuery:
 
         Used by the Core XPath / XPatterns engines so that repeated
         evaluations of one plan skip algebra compilation as well.
+
+        Safe under concurrent evaluation: the get/set pair on the memo dict
+        is atomic, so two threads racing a cold plan at worst compile the
+        (side-effect-free, equivalent) algebra twice; each keeps a valid
+        plan and one of them wins the memo slot.
         """
         plan = self._algebra_plans.get(compiler_class)
         if plan is None:
@@ -306,11 +312,20 @@ class PlanCacheStats:
 
 
 class PlanCache:
-    """A bounded LRU cache of :class:`CompiledQuery` plans.
+    """A bounded, thread-safe LRU cache of :class:`CompiledQuery` plans.
 
     The cache is transparent: a hit returns the identical plan object, and
     plans are immutable, so cached and uncached evaluation are
     observationally equivalent (asserted by the differential fuzz test).
+
+    All operations — lookup, LRU reordering, insertion, eviction and the
+    hit/miss/eviction counters — happen under one internal lock, so a cache
+    (including the process-wide :data:`DEFAULT_PLAN_CACHE`) may be hammered
+    from many threads at once and the counters still satisfy
+    ``hits + misses == lookups``.  Compilation itself runs *outside* the
+    lock: two threads missing on the same key may both compile, but exactly
+    one plan wins the cache slot and both compilations are counted as the
+    misses they were.
     """
 
     def __init__(self, maxsize: int = 256):
@@ -319,6 +334,7 @@ class PlanCache:
         self.maxsize = maxsize
         self.stats = PlanCacheStats()
         self._plans: "OrderedDict[tuple, CompiledQuery]" = OrderedDict()
+        self._lock = threading.RLock()
 
     # ------------------------------------------------------------------
     # Core operations
@@ -332,46 +348,78 @@ class PlanCache:
         library_signature: str = CORE_LIBRARY_SIGNATURE,
     ) -> CompiledQuery:
         """Return the cached plan for the key, compiling on a miss."""
+        plan, _ = self.fetch(
+            query, engine=engine, variables=variables, library_signature=library_signature
+        )
+        return plan
+
+    def fetch(
+        self,
+        query: str,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        library_signature: str = CORE_LIBRARY_SIGNATURE,
+    ) -> tuple[CompiledQuery, bool]:
+        """:meth:`get_or_compile` plus an exact was-it-a-hit flag.
+
+        The flag belongs to *this* lookup, which matters under concurrency:
+        inferring it from before/after counter reads (as the session layer
+        once did) misreports when another thread's lookup lands in between.
+        """
         if engine is None:
             engine = DEFAULT_ENGINE
         key = plan_cache_key(
             query, engine, _variables_signature(variables), library_signature
         )
-        plan = self._plans.get(key)
-        if plan is not None:
-            self.stats.hits += 1
-            self._plans.move_to_end(key)
-            return plan
-        self.stats.misses += 1
+        with self._lock:
+            plan = self._plans.get(key)
+            if plan is not None:
+                self.stats.hits += 1
+                self._plans.move_to_end(key)
+                return plan, True
+            self.stats.misses += 1
         plan = compile_plan(
             query,
             engine=engine,
             variables=variables,
             library_signature=library_signature,
         )
-        self._plans[key] = plan
-        if len(self._plans) > self.maxsize:
-            self._plans.popitem(last=False)
-            self.stats.evictions += 1
-        return plan
+        with self._lock:
+            existing = self._plans.get(key)
+            if existing is not None:
+                # A concurrent compile won the slot; keep its plan so hits
+                # keep returning one identical object per key.
+                self._plans.move_to_end(key)
+                return existing, False
+            self._plans[key] = plan
+            if len(self._plans) > self.maxsize:
+                self._plans.popitem(last=False)
+                self.stats.evictions += 1
+        return plan, False
 
     def peek(self, key: tuple) -> Optional[CompiledQuery]:
         """The cached plan for ``key`` without touching LRU order or stats."""
-        return self._plans.get(key)
+        with self._lock:
+            return self._plans.get(key)
 
     def __contains__(self, key: tuple) -> bool:
-        return key in self._plans
+        with self._lock:
+            return key in self._plans
 
     def __len__(self) -> int:
-        return len(self._plans)
+        with self._lock:
+            return len(self._plans)
 
     def keys(self) -> Iterable[tuple]:
-        return iter(self._plans.keys())
+        with self._lock:
+            return list(self._plans.keys())
 
     def clear(self) -> None:
         """Drop all cached plans and reset the counters."""
-        self._plans.clear()
-        self.stats = PlanCacheStats()
+        with self._lock:
+            self._plans.clear()
+            self.stats = PlanCacheStats()
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return (

@@ -39,12 +39,20 @@ Typical usage::
     session.select("//b", doc)    # plain list[Node], same session state
     session.stats.queries         # aggregated across all calls
 
-Sessions are not thread-safe; give each worker thread its own session (they
-are cheap — engines and plans are created lazily).
+Sessions are thread-safe for evaluation traffic: the plan cache is
+internally locked, :class:`SessionStats` aggregation is lock-guarded, and
+the engine pool hands out one engine instance per (engine name, thread) —
+engines carry mutable per-evaluation state (``last_stats``), so threads must
+never share one.  This is what lets the parallel batch executor
+(:mod:`repro.parallel`) and N client threads hammer a single session
+concurrently.  Configuration attributes (``default_engine``, ``variables``,
+``limits``) are read-mostly: mutate them only while no other thread is
+evaluating.
 """
 
 from __future__ import annotations
 
+import threading
 import time
 from dataclasses import dataclass, field
 from typing import Iterable, Mapping, Optional, Sequence, Union
@@ -92,6 +100,11 @@ class SessionStats:
     ``total_work`` sums the engines' :meth:`EvaluationStats.total_work`
     scalar — including the partial work of evaluations aborted by a
     resource limit, which also increment ``limit_breaches``.
+
+    Recording is lock-guarded, so concurrent threads folding results into
+    one session keep the counters consistent: after any quiescent point,
+    ``queries == sum(engine_use.values())`` and
+    ``errors >= limit_breaches`` hold exactly.
     """
 
     queries: int = 0
@@ -100,6 +113,9 @@ class SessionStats:
     total_seconds: float = 0.0
     total_work: int = 0
     engine_use: dict[str, int] = field(default_factory=dict)
+    _lock: threading.Lock = field(
+        default_factory=threading.Lock, repr=False, compare=False
+    )
 
     def record(
         self,
@@ -111,15 +127,16 @@ class SessionStats:
         limit_breach: bool = False,
     ) -> None:
         """Fold one finished (or aborted) evaluation into the aggregates."""
-        self.queries += 1
-        self.total_seconds += elapsed_seconds
-        if stats is not None:
-            self.total_work += stats.total_work()
-        self.engine_use[engine_name] = self.engine_use.get(engine_name, 0) + 1
-        if error:
-            self.errors += 1
-        if limit_breach:
-            self.limit_breaches += 1
+        with self._lock:
+            self.queries += 1
+            self.total_seconds += elapsed_seconds
+            if stats is not None:
+                self.total_work += stats.total_work()
+            self.engine_use[engine_name] = self.engine_use.get(engine_name, 0) + 1
+            if error:
+                self.errors += 1
+            if limit_breach:
+                self.limit_breaches += 1
 
     def record_failure(
         self, engine_name: str, elapsed_seconds: float, error: ReproError
@@ -135,14 +152,15 @@ class SessionStats:
         )
 
     def as_dict(self) -> dict:
-        return {
-            "queries": self.queries,
-            "errors": self.errors,
-            "limit_breaches": self.limit_breaches,
-            "total_seconds": self.total_seconds,
-            "total_work": self.total_work,
-            "engine_use": dict(self.engine_use),
-        }
+        with self._lock:  # a consistent snapshot, even mid-traffic
+            return {
+                "queries": self.queries,
+                "errors": self.errors,
+                "limit_breaches": self.limit_breaches,
+                "total_seconds": self.total_seconds,
+                "total_work": self.total_work,
+                "engine_use": dict(self.engine_use),
+            }
 
 
 # ----------------------------------------------------------------------
@@ -311,16 +329,27 @@ class XPathSession:
         self.limits = limits if limits is not None else EvalLimits()
         self.variables: dict[str, XPathValue] = dict(variables or {})
         self.stats = SessionStats()
-        self._engines: dict[str, XPathEngine] = {}
+        self._engines = threading.local()
 
     # ------------------------------------------------------------------
     # Engine pool
     # ------------------------------------------------------------------
     def engine(self, name: Optional[str] = None) -> XPathEngine:
-        """The session's pooled engine instance for ``name``, created once."""
+        """The session's pooled engine instance for ``name``.
+
+        Pooling is per (engine name, calling thread): within one thread,
+        repeated calls return the identical instance — the pre-session API
+        re-instantiated per query — while two threads always get distinct
+        instances, because engines carry mutable per-evaluation state
+        (``last_stats``) that must not be shared.  The per-thread pools die
+        with their threads.
+        """
         if name is None:
             name = self.default_engine
-        engine = self._engines.get(name)
+        pool = getattr(self._engines, "pool", None)
+        if pool is None:
+            pool = self._engines.pool = {}
+        engine = pool.get(name)
         if engine is None:
             engine_class = ENGINE_CLASSES.get(name)
             if engine_class is None:
@@ -329,7 +358,7 @@ class XPathSession:
                     f"{', '.join(sorted(ENGINE_CLASSES))}"
                 )
             engine = engine_class()
-            self._engines[name] = engine
+            pool[name] = engine
         return engine
 
     # ------------------------------------------------------------------
@@ -385,11 +414,11 @@ class XPathSession:
         if requested is None and not isinstance(query, CompiledQuery):
             requested = self.default_engine
         if isinstance(query, str):
-            hits_before = self.cache.stats.hits
-            plan = self.cache.get_or_compile(
+            # fetch() reports the hit flag of *this* lookup; diffing the
+            # counter before/after would misreport under concurrency.
+            return self.cache.fetch(
                 query, engine=requested, variables=variables or None
             )
-            return plan, self.cache.stats.hits > hits_before
         # Prebuilt plans pass through (retargeted only on explicit mismatch);
         # raw ASTs compile uncached — neither touches the cache.
         plan = plan_for(query, engine=requested, variables=variables or None, cache=None)

@@ -52,6 +52,33 @@ class Document:
         self._frozen = False
 
     # ------------------------------------------------------------------
+    # Pickling (the parallel executor ships documents to worker processes)
+    # ------------------------------------------------------------------
+    def __reduce__(self):
+        """Pickle as a flat preorder node table, not as a linked tree.
+
+        The default recursive pickling walks ``parent``/``next_sibling``/
+        ``first_child`` chains and blows the recursion limit on documents
+        only a few hundred nodes wide.  The flat form is also far smaller
+        (no per-node back links, no indexes) and rebuilding through
+        :meth:`freeze` restores the identical document orders — orders are
+        assigned by a deterministic preorder walk of the structure this
+        payload preserves exactly.
+        """
+        payload = []
+        stack = [(self.root, -1)]
+        while stack:
+            node, parent_position = stack.pop()
+            position = len(payload)
+            payload.append(
+                (node.node_type.value, node.name, node.value, parent_position)
+            )
+            stack.extend(
+                (child, position) for child in reversed(node.child0_sequence())
+            )
+        return (_rebuild_document, (payload, self.id_attribute, self._frozen))
+
+    # ------------------------------------------------------------------
     # Freezing: assign document order and build indexes
     # ------------------------------------------------------------------
     def freeze(self) -> "Document":
@@ -209,3 +236,33 @@ class Document:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         size = len(self._nodes) if self._frozen else "unfrozen"
         return f"<Document nodes={size}>"
+
+
+def _rebuild_document(payload, id_attribute: str, frozen: bool) -> "Document":
+    """Unpickle counterpart of :meth:`Document.__reduce__`.
+
+    The payload lists ``(node_type, name, value, parent_position)`` in
+    preorder, so every parent is materialised before its children and one
+    linear pass rebuilds the tree without recursion.
+    """
+    nodes: list[Node] = []
+    root: Optional[Node] = None
+    for type_value, name, value, parent_position in payload:
+        node = Node(NodeType(type_value), name, value)
+        if parent_position < 0:
+            root = node
+        else:
+            parent = nodes[parent_position]
+            node.parent = parent
+            if node.node_type is NodeType.ATTRIBUTE:
+                parent._attributes.append(node)
+            elif node.node_type is NodeType.NAMESPACE:
+                parent._namespaces.append(node)
+            else:
+                parent._children.append(node)
+        nodes.append(node)
+    assert root is not None
+    document = Document(root, id_attribute)
+    if frozen:
+        document.freeze()
+    return document

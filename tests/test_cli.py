@@ -129,3 +129,65 @@ class TestCliExplain:
         # "--" is the escape hatch for a query literally named "explain".
         assert run(["--", "explain"], stdin="<explain>x</explain>") == 0
         assert "explain\tx" in capsys.readouterr().out
+
+
+class TestCliBatch:
+    @pytest.fixture
+    def files(self, tmp_path):
+        sources = ["<a><b/><b/></a>", "<a/>", "<a><b>x</b></a>"]
+        paths = []
+        for index, source in enumerate(sources):
+            path = tmp_path / f"doc{index}.xml"
+            path.write_text(source, encoding="utf-8")
+            paths.append(str(path))
+        return paths
+
+    def test_batch_serial(self, files, capsys):
+        assert run(["batch", "//b", *files]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].endswith("2 node(s)")
+        assert lines[1].endswith("0 node(s)")
+        assert lines[2].endswith("1 node(s)")
+
+    @pytest.mark.parametrize("backend", ["thread", "process"])
+    def test_batch_jobs_matches_serial(self, files, capsys, backend):
+        assert run(["batch", "//b", *files]) == 0
+        serial = capsys.readouterr().out
+        assert run(["batch", "//b", *files, "--jobs", "2", "--backend", backend]) == 0
+        assert capsys.readouterr().out == serial
+
+    def test_batch_scalar_query(self, files, capsys):
+        assert run(["batch", "count(//b)", *files, "--jobs", "2"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert [line.split("\t")[1] for line in lines] == ["2", "0", "1"]
+
+    def test_batch_isolates_parse_failure(self, files, tmp_path, capsys):
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b>", encoding="utf-8")
+        assert run(["batch", "//b", files[0], str(bad), files[2], "--jobs", "2"]) == 1
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 2  # the good files
+        assert "parse error" in captured.err
+
+    def test_batch_limit_breach_exits_3_and_isolates(self, files, capsys):
+        big = files[0]
+        assert run(["batch", "//b", *files, "--max-ops", "4", "--jobs", "2"]) in (1, 3)
+        # Deterministic split: 12 counted ops for the two-b file, 6 for the
+        # empty one — a budget of 8 breaches exactly the first.
+        capsys.readouterr()
+        code = run(["batch", "//b", big, files[1], "--max-ops", "8"])
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "operation budget" in captured.err
+        assert captured.out.strip().splitlines()  # sibling still reported
+
+    def test_batch_missing_file_is_isolated(self, files, capsys):
+        assert run(["batch", "//b", files[0], "/nonexistent.xml"]) == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert len(captured.out.strip().splitlines()) == 1
+
+    def test_batch_engine_flag(self, files, capsys):
+        assert run(["batch", "//b", *files, "--engine", "corexpath"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3

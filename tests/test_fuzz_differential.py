@@ -19,7 +19,10 @@ import random
 import pytest
 
 from repro import api
+from repro.engines.base import EvalLimits
+from repro.parallel import ParallelExecutor
 from repro.plan import PlanCache, plan_for
+from repro.session import XPathSession
 from repro.workloads.documents import doc_figure8, doc_flat, random_document
 
 FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260731"))
@@ -178,3 +181,82 @@ def test_xpatterns_fuzz_all_engines_agree(query):
 def test_generation_is_deterministic_for_fixed_seed():
     assert _generate("core", 10) == _generate("core", 10)
     assert _generate("xpatterns", 5) == _generate("xpatterns", 5)
+
+
+# ----------------------------------------------------------------------
+# Serial ≡ parallel differential (ISSUE 4)
+#
+# Every fuzzed (document, query, engine) case also runs through the
+# ParallelExecutor — both backends — as a collection batch over all fuzz
+# documents, and must match the serial batch result node-for-node,
+# per-document failures included.
+# ----------------------------------------------------------------------
+ALL_QUERIES = CORE_QUERIES + XPATTERNS_QUERIES
+
+#: A dedicated session so the parallel sweep shares plans across the three
+#: evaluations of each (query, engine) pair without touching the default
+#: session's telemetry.
+_PARALLEL_SESSION = XPathSession(cache_size=2 * len(ALL_QUERIES) * len(ENGINES))
+_PARALLEL_COLLECTION = _PARALLEL_SESSION.collection(
+    DOCUMENTS.values(), names=list(DOCUMENTS)
+)
+
+
+@pytest.fixture(scope="module")
+def executors():
+    """One worker pool per backend, shared by the whole fuzz sweep."""
+    with ParallelExecutor(backend="thread", max_workers=2) as thread_pool:
+        with ParallelExecutor(backend="process", max_workers=2) as process_pool:
+            yield (thread_pool, process_pool)
+
+
+def _batch_shape(batch) -> list:
+    """Per-document fingerprint: result node orders, or the failure type."""
+    return [
+        tuple(node.order for node in result.nodes)
+        if result.ok
+        else type(result.error).__name__
+        for result in batch
+    ]
+
+
+def _engines_for(query: str) -> list[str]:
+    info = api.classify_query(query)
+    if info.in_core_xpath:
+        return ENGINES
+    return [engine for engine in ENGINES if engine != "corexpath"]
+
+
+@pytest.mark.parametrize("query", ALL_QUERIES, ids=range(len(ALL_QUERIES)))
+def test_parallel_batches_match_serial(query, executors):
+    for engine in _engines_for(query):
+        serial = _PARALLEL_COLLECTION.select(query, engine=engine)
+        expected = _batch_shape(serial)
+        for executor in executors:
+            got = _batch_shape(
+                _PARALLEL_COLLECTION.select(query, engine=engine, parallel=executor)
+            )
+            assert got == expected, (
+                f"{executor.backend} backend disagrees with serial for "
+                f"{engine} on {query!r}: {got} != {expected}"
+            )
+
+
+@pytest.mark.parametrize(
+    "query", CORE_QUERIES[: len(CORE_QUERIES) // 3], ids=range(len(CORE_QUERIES) // 3)
+)
+def test_parallel_limit_isolation_matches_serial(query, executors):
+    """Tight budgets breach on some fuzz documents and not others; the
+    per-document ResourceLimitExceeded pattern must be identical in
+    parallel, whatever it is."""
+    limits = EvalLimits(max_operations=60)
+    for engine in ("topdown", "naive"):
+        serial = _PARALLEL_COLLECTION.select(query, engine=engine, limits=limits)
+        expected = _batch_shape(serial)
+        for executor in executors:
+            got = _batch_shape(
+                _PARALLEL_COLLECTION.select(
+                    query, engine=engine, limits=limits, parallel=executor
+                )
+            )
+            assert got == expected, (executor.backend, engine, query)
