@@ -46,6 +46,12 @@ The classic one-liners still work, delegating to a process default session::
     docs.select("//b")                    # one plan, every document
     docs.select("//b", parallel=True)     # fanned out over a worker pool
 
+Streamable queries (forward downward axes, start-event predicates) can be
+evaluated in a single pass over XML *text* — no tree, O(depth) memory::
+
+    repro.stream("//b[@id]", huge_xml_text)          # StreamMatch records
+    repro.stream_collection(sources).select("//b", stream=True)
+
 Repeated string queries are served by each session's transparent LRU plan
 cache (:func:`repro.plan_cache` exposes the default session's).
 """
@@ -65,6 +71,9 @@ from .api import (
     PlanReport,
     QueryResult,
     SessionStats,
+    SourceCollection,
+    StreamMatch,
+    StreamRun,
     XPathSession,
     classify_query,
     compile_query,
@@ -81,6 +90,8 @@ from .api import (
     run,
     select,
     session,
+    stream,
+    stream_collection,
 )
 from .errors import (
     FragmentError,
@@ -118,6 +129,9 @@ __all__ = [
     "XPathSession",
     "XPathSyntaxError",
     "XPathTypeError",
+    "SourceCollection",
+    "StreamMatch",
+    "StreamRun",
     "__version__",
     "api",
     "classify_query",
@@ -135,4 +149,6 @@ __all__ = [
     "run",
     "select",
     "session",
+    "stream",
+    "stream_collection",
 ]

@@ -57,7 +57,14 @@ from __future__ import annotations
 
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
-from .collection import BatchResult, BatchRun, Collection, MultiQueryRun, PlanReport
+from .collection import (
+    BatchResult,
+    BatchRun,
+    Collection,
+    MultiQueryRun,
+    PlanReport,
+    SourceCollection,
+)
 from .engines.base import EvalLimits, XPathEngine
 from .parallel import ParallelExecutor
 from .errors import XPathEvaluationError
@@ -74,9 +81,11 @@ from .session import (
     ENGINE_CLASSES,
     QueryResult,
     SessionStats,
+    StreamRun,
     XPathSession,
     render_explanation,
 )
+from .streaming import StreamMatch, analyze_streamability, stream_by_default
 from .xmlmodel.document import Document
 from .xmlmodel.nodes import Node
 from .xmlmodel.parser import parse_xml
@@ -172,6 +181,54 @@ def parse_collection(
     return Collection.from_sources(
         sources, strip_whitespace=strip_whitespace, names=names
     )
+
+
+def stream(
+    query: Union[str, CompiledQuery],
+    source: str,
+    *,
+    engine: Optional[str] = None,
+    variables: Optional[Mapping[str, XPathValue]] = None,
+    limits: Optional[EvalLimits] = None,
+    strip_whitespace: bool = False,
+    require: bool = False,
+) -> StreamRun:
+    """Evaluate a node-set query over XML *text* on the default session.
+
+    Streamable plans (forward downward axes, start-event-decidable
+    predicates — see :func:`repro.streaming.analyze_streamability`) are
+    evaluated in a single pass over the token stream with O(depth) live
+    state and **no tree is built**; everything else parses the source and
+    falls back to the plan's tree engine.  Both backends return the same
+    :class:`~repro.session.StreamRun` of
+    :class:`~repro.streaming.StreamMatch` records in document order;
+    ``require=True`` raises instead of falling back.
+    """
+    return _DEFAULT_SESSION.stream(
+        query,
+        source,
+        engine=engine,
+        variables=variables,
+        limits=limits,
+        strip_whitespace=strip_whitespace,
+        require=require,
+    )
+
+
+def stream_collection(
+    sources: Iterable[str],
+    *,
+    strip_whitespace: bool = False,
+    names: Optional[Sequence[str]] = None,
+) -> SourceCollection:
+    """Wrap XML texts in a :class:`~repro.collection.SourceCollection`.
+
+    Unlike :func:`parse_collection`, nothing is parsed here: each batch
+    holds at most one tree per worker — and zero trees when the plan is
+    streamable and streaming is on (``stream=True`` per batch, or the
+    ``REPRO_STREAM_DEFAULT`` environment default).
+    """
+    return SourceCollection(sources, names=names, strip_whitespace=strip_whitespace)
 
 
 def parallel_executor(
@@ -312,7 +369,11 @@ __all__ = [
     "PlanReport",
     "QueryResult",
     "SessionStats",
+    "SourceCollection",
+    "StreamMatch",
+    "StreamRun",
     "XPathSession",
+    "analyze_streamability",
     "classify_query",
     "compile_query",
     "default_session",
@@ -329,4 +390,7 @@ __all__ = [
     "run",
     "select",
     "session",
+    "stream",
+    "stream_by_default",
+    "stream_collection",
 ]

@@ -3,10 +3,10 @@
 Usage::
 
     python -m repro.cli QUERY [FILE] [--engine NAME] [--classify] [--stats]
-                        [--max-ops N] [--max-nodes N] [--timeout S]
+                        [--stream] [--max-ops N] [--max-nodes N] [--timeout S]
     python -m repro.cli explain QUERY [FILE] [--engine NAME] [--plan-only]
     python -m repro.cli batch QUERY FILE [FILE ...] [--jobs N]
-                        [--backend thread|process] [--count]
+                        [--backend thread|process] [--stream] [--count]
 
 The first form reads the XML document from FILE (or stdin when omitted),
 evaluates QUERY through the default session and prints the result: one line
@@ -16,12 +16,20 @@ prints the query's plan / fragment / engine decision instead — with a
 document it also evaluates and reports counters and timing; with
 ``--plan-only`` it stops after compilation and needs no document.
 
-The ``batch`` subcommand evaluates one query over *many* files as a
+``--stream`` evaluates streamable queries (forward downward axes,
+start-event-decidable predicates) in a single pass over the input without
+building a tree, printing one ``order<TAB>label<TAB>value`` line per match;
+non-streamable queries silently fall back to the tree engine with the same
+output shape.
+
+The ``batch`` subcommand evaluates one query over *many* files as a source
 collection: the plan is compiled once, each file is one isolated batch
-entry, and ``--jobs N`` fans the documents out over N parallel workers
-(``--backend process`` for CPU-bound scaling; the default is the thread
-backend).  One summary line is printed per file; per-file failures are
-reported inline and turn the exit code to 1 without stopping the batch.
+entry (parsed — or streamed, with ``--stream`` — one at a time, so the
+corpus is never resident as trees), and ``--jobs N`` fans the files out
+over N parallel workers (``--backend process`` for CPU-bound scaling; the
+default is the thread backend).  One summary line is printed per file;
+per-file failures are reported inline and turn the exit code to 1 without
+stopping the batch.
 
 Resource limits (``--max-ops``, ``--max-nodes``, ``--timeout``) abort
 over-budget evaluations with exit code 3 (per file, in ``batch``).
@@ -49,11 +57,11 @@ from typing import Optional, Sequence
 
 from .api import DEFAULT_ENGINE, default_session, engine_names
 from .engines.base import EvalLimits
-from .errors import ReproError, ResourceLimitExceeded
+from .errors import ReproError, ResourceLimitExceeded, XMLSyntaxError
 from .parallel import BACKENDS
 from .xmlmodel.parser import parse_xml
 from .xmlmodel.serializer import serialize_node
-from .xpath.values import NodeSet, to_string
+from .xpath.values import NodeSet, ValueType, to_string
 
 
 def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
@@ -113,6 +121,14 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="print node-set results as serialised XML instead of summaries",
     )
+    parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="evaluate in a single pass over the input without building a "
+        "tree (streamable queries only; others parse and fall back to the "
+        "tree engine); prints order, label and textual value per match "
+        "(--xml does not apply)",
+    )
     return parser
 
 
@@ -171,6 +187,13 @@ def build_batch_parser() -> argparse.ArgumentParser:
         "process scales CPU-bound batches across cores)",
     )
     parser.add_argument(
+        "--stream",
+        action="store_true",
+        help="stream streamable queries in a single pass per file (zero "
+        "trees in memory); non-streamable queries parse one file at a time "
+        "(REPRO_STREAM_DEFAULT=1 makes this the default)",
+    )
+    parser.add_argument(
         "--max-ops", type=int, default=None, metavar="N",
         help="per-file operation budget (breaches fail the file, exit code 3)",
     )
@@ -195,13 +218,31 @@ def _limits_from_args(args: argparse.Namespace) -> Optional[EvalLimits]:
     )
 
 
-def _read_document(args: argparse.Namespace, stdin: Optional[str]):
+def _read_source(args: argparse.Namespace, stdin: Optional[str]) -> str:
     if args.file:
         with open(args.file, "r", encoding="utf-8") as handle:
-            source = handle.read()
-    else:
-        source = stdin if stdin is not None else sys.stdin.read()
-    return parse_xml(source)
+            return handle.read()
+    return stdin if stdin is not None else sys.stdin.read()
+
+
+def _read_document(args: argparse.Namespace, stdin: Optional[str]):
+    return parse_xml(_read_source(args, stdin))
+
+
+def _print_classification(info) -> None:
+    print(f"fragment:  {info.fragment.value}")
+    print(f"engine:    {info.recommended_engine}")
+    print(f"bound:     {info.complexity}")
+    print(f"streaming: {'yes' if info.streamable else 'no'}")
+    for violation in info.wadler_violations:
+        print(f"           {violation}")
+
+
+def _print_stats(stats) -> None:
+    print("-- stats --", file=sys.stderr)
+    for name, count in stats.as_dict().items():
+        if count:
+            print(f"{name}: {count}", file=sys.stderr)
 
 
 def run(argv: Optional[Sequence[str]] = None, stdin: Optional[str] = None) -> int:
@@ -220,29 +261,36 @@ def _run_evaluate(argv: Sequence[str], stdin: Optional[str]) -> int:
     args = parser.parse_args(argv)
 
     try:
-        document = _read_document(args, stdin)
         session = default_session()
         requested = args.engine if args.engine is not None else DEFAULT_ENGINE
+        limits = _limits_from_args(args)
 
-        result = session.run(
-            args.query, document, engine=requested, limits=_limits_from_args(args)
-        )
+        if args.stream:
+            source = _read_source(args, stdin)
+            plan = session.compile(args.query, engine=requested)
+            if plan.streamable or plan.static_type is ValueType.NODE_SET:
+                matches = session.stream(plan, source, limits=limits)
+                if args.classify:
+                    _print_classification(matches.plan.classification)
+                for match in matches:
+                    print(f"{match.order}\t{match.label}\t{match.value or ''}")
+                if args.stats and matches.stats is not None:
+                    _print_stats(matches.stats)
+                return 0
+            # Scalar queries cannot stream; fall back to the ordinary
+            # evaluate-and-print path on the already-read source.
+            document = parse_xml(source)
+        else:
+            document = _read_document(args, stdin)
+        result = session.run(args.query, document, engine=requested, limits=limits)
 
         if args.classify:
-            info = result.classification
-            print(f"fragment:  {info.fragment.value}")
-            print(f"engine:    {info.recommended_engine}")
-            print(f"bound:     {info.complexity}")
-            for violation in info.wadler_violations:
-                print(f"           {violation}")
+            _print_classification(result.classification)
 
         _print_value(result.value, as_xml=args.xml)
 
         if args.stats:
-            print("-- stats --", file=sys.stderr)
-            for name, count in result.stats.as_dict().items():
-                if count:
-                    print(f"{name}: {count}", file=sys.stderr)
+            _print_stats(result.stats)
         return 0
     except ResourceLimitExceeded as error:
         print(f"limit exceeded: {error}", file=sys.stderr)
@@ -294,38 +342,41 @@ def _run_batch(argv: Sequence[str]) -> int:
     requested = args.engine if args.engine is not None else DEFAULT_ENGINE
     limits = _limits_from_args(args)
 
-    # Per-file isolation starts at parsing: a malformed file is reported as
-    # that file's failure while every other file still evaluates.
-    documents, names, failures = [], [], {}
+    # Per-file isolation starts at reading; parsing happens inside the batch
+    # (one tree per worker at a time, zero when streaming), where a
+    # malformed file fails only its own entry.
+    sources, names, failures = [], [], {}
     for path in args.files:
         try:
             with open(path, "r", encoding="utf-8") as handle:
-                documents.append(parse_xml(handle.read()))
+                sources.append(handle.read())
             names.append(path)
-        except ReproError as error:
-            failures[path] = f"parse error: {error}"
         except OSError as error:
             failures[path] = f"error: {error}"
 
     results = {}
     limit_breached = False
-    if documents:
-        collection = session.collection(documents, names=names)
+    if sources:
+        collection = session.stream_collection(sources, names=names)
         # --jobs/--backend imply parallel; with neither, REPRO_PARALLEL_DEFAULT
         # still applies (resolve_executor's parallel=None semantics).
+        # --stream prefers the single-pass backend for streamable queries;
+        # without it, REPRO_STREAM_DEFAULT decides (stream=None).
         batch = collection.evaluate(
             args.query,
             engine=requested,
             limits=limits,
+            stream=True if args.stream else None,
             max_workers=args.jobs,
             backend=args.backend,
         )
         for result in batch:
             if not result.ok:
                 limit_breached |= isinstance(result.error, ResourceLimitExceeded)
-                failures[result.name] = f"error: {result.error}"
-            elif isinstance(result.value, NodeSet):
-                results[result.name] = f"{len(result.value)} node(s)"
+                prefix = "parse error" if isinstance(result.error, XMLSyntaxError) else "error"
+                failures[result.name] = f"{prefix}: {result.error}"
+            elif result.matches is not None:
+                results[result.name] = f"{len(result.matches)} node(s)"
             else:
                 results[result.name] = to_string(result.value)
 

@@ -48,7 +48,14 @@ from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from .errors import ReproError
-from .parallel import DocumentOutcome, ParallelExecutor, evaluate_document, resolve_executor
+from .parallel import (
+    DocumentOutcome,
+    ParallelExecutor,
+    evaluate_document,
+    evaluate_source,
+    resolve_executor,
+)
+from .streaming import StreamMatch, stream_by_default
 from .xmlmodel.document import Document
 from .xmlmodel.nodes import Node
 from .xmlmodel.parser import parse_xml
@@ -63,13 +70,19 @@ class BatchResult:
     index: int
     #: Collection-assigned name of the document (defaults to ``doc[index]``).
     name: str
-    #: The document the plan was evaluated against.
-    document: Document
+    #: The document the plan was evaluated against (``None`` for
+    #: :class:`SourceCollection` batches — the tree was never built, or died
+    #: inside its worker).
+    document: Optional[Document]
     #: Node-set result of :meth:`Collection.select` (``None`` on error or
     #: for :meth:`Collection.evaluate`, which fills :attr:`value` instead).
     nodes: Optional[list[Node]] = None
     #: Scalar/value result of :meth:`Collection.evaluate` (``None`` on error).
     value: Optional[XPathValue] = None
+    #: Node-set result of a :class:`SourceCollection` batch, as
+    #: :class:`~repro.streaming.StreamMatch` records (streamed single-pass,
+    #: or converted from the tree fallback — same shape either way).
+    matches: Optional[list[StreamMatch]] = None
     #: The per-document failure, when evaluation raised.
     error: Optional[ReproError] = None
 
@@ -81,7 +94,12 @@ class BatchResult:
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         if not self.ok:
             return f"<BatchResult {self.name}: error {self.error}>"
-        payload = f"{len(self.nodes)} nodes" if self.nodes is not None else repr(self.value)
+        if self.nodes is not None:
+            payload = f"{len(self.nodes)} nodes"
+        elif self.matches is not None:
+            payload = f"{len(self.matches)} matches"
+        else:
+            payload = repr(self.value)
         return f"<BatchResult {self.name}: {payload}>"
 
 
@@ -116,6 +134,7 @@ class BatchRun(list):
         cache_hit: Optional[bool] = None,
         backend: Optional[str] = None,
         workers: Optional[int] = None,
+        streamed: Optional[bool] = None,
     ):
         super().__init__(results)
         self.plan = plan
@@ -125,6 +144,10 @@ class BatchRun(list):
         self.backend = backend
         #: Worker-pool size of a parallel batch; ``None`` for serial.
         self.workers = workers
+        #: ``True`` when a :class:`SourceCollection` batch ran on the
+        #: single-pass streaming backend, ``False`` for its tree fallback,
+        #: ``None`` for ordinary (pre-parsed) collections.
+        self.streamed = streamed
 
     @property
     def ok(self) -> bool:
@@ -440,3 +463,200 @@ class Collection:
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"<Collection of {len(self)} documents>"
+
+
+class SourceCollection:
+    """An ordered set of XML *sources* evaluated without retaining trees.
+
+    Where :class:`Collection` parses everything up front and keeps the
+    trees (fast for repeated queries over a resident corpus), a source
+    collection keeps only the texts — the ROADMAP's "documents bigger than
+    the working set" shape.  Each batch evaluates every source with bounded
+    memory per worker:
+
+    * plan streamable and streaming on (``stream=True``, or the
+      :data:`~repro.streaming.STREAM_DEFAULT_ENV` environment default) —
+      the source is scanned in one pass, **zero** trees are built;
+    * otherwise each source is parsed, evaluated with the session's pooled
+      engine, and the tree is dropped before the next source — at most
+      **one** tree per worker at any time.
+
+    Node-set results come back as :class:`~repro.streaming.StreamMatch`
+    records (there is no tree left for ``Node`` objects to live in), with
+    identical shape from both backends.  Per-source isolation covers
+    parsing too: a malformed source fails only its own entry.  Parallel
+    batches fan sources (plain strings — cheap to ship across processes)
+    out over a :class:`~repro.parallel.ParallelExecutor` exactly like
+    :class:`Collection` does documents.
+    """
+
+    def __init__(
+        self,
+        sources: Iterable[str],
+        names: Optional[Sequence[str]] = None,
+        *,
+        strip_whitespace: bool = False,
+        session=None,
+    ):
+        self._session = session
+        self._sources: tuple[str, ...] = tuple(sources)
+        self.strip_whitespace = strip_whitespace
+        if names is None:
+            self._names: tuple[str, ...] = tuple(
+                f"doc[{index}]" for index in range(len(self._sources))
+            )
+        else:
+            names = tuple(names)
+            if len(names) != len(self._sources):
+                raise ValueError(
+                    f"{len(names)} names given for {len(self._sources)} sources"
+                )
+            self._names = names
+
+    @property
+    def session(self):
+        """The session this collection is bound to (default session if none)."""
+        if self._session is not None:
+            return self._session
+        from .api import default_session  # local import to avoid a cycle
+
+        return default_session()
+
+    # ------------------------------------------------------------------
+    # Container protocol
+    # ------------------------------------------------------------------
+    @property
+    def sources(self) -> tuple[str, ...]:
+        return self._sources
+
+    @property
+    def names(self) -> tuple[str, ...]:
+        return self._names
+
+    def __len__(self) -> int:
+        return len(self._sources)
+
+    def __iter__(self) -> Iterator[str]:
+        return iter(self._sources)
+
+    def __getitem__(self, index: int) -> str:
+        return self._sources[index]
+
+    # ------------------------------------------------------------------
+    # Batch evaluation
+    # ------------------------------------------------------------------
+    def select(
+        self,
+        query,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        limits=None,
+        stream: Optional[bool] = None,
+        parallel: Union[None, bool, ParallelExecutor] = None,
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> BatchRun:
+        """Evaluate one node-set query over every source.
+
+        ``stream=None`` (the default) consults
+        :data:`~repro.streaming.STREAM_DEFAULT_ENV`; ``stream=True``
+        prefers the single-pass backend for streamable plans (with
+        automatic tree fallback otherwise); ``stream=False`` forces the
+        parse-evaluate-drop path.  Results carry
+        :attr:`BatchResult.matches` in collection order.
+        """
+        return self._run_batch(
+            query, engine, variables, limits, select_nodes=True, stream=stream,
+            parallel=parallel, max_workers=max_workers, backend=backend,
+        )
+
+    def evaluate(
+        self,
+        query,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        limits=None,
+        stream: Optional[bool] = None,
+        parallel: Union[None, bool, ParallelExecutor] = None,
+        max_workers: Optional[int] = None,
+        backend: Optional[str] = None,
+    ) -> BatchRun:
+        """Evaluate one query of any result type over every source
+        (node-set results arrive as matches, scalars as values)."""
+        return self._run_batch(
+            query, engine, variables, limits, select_nodes=False, stream=stream,
+            parallel=parallel, max_workers=max_workers, backend=backend,
+        )
+
+    # ------------------------------------------------------------------
+    # Helpers
+    # ------------------------------------------------------------------
+    def _run_batch(
+        self,
+        query,
+        engine: Optional[str],
+        variables,
+        limits,
+        *,
+        select_nodes: bool,
+        stream: Optional[bool],
+        parallel: Union[None, bool, ParallelExecutor],
+        max_workers: Optional[int],
+        backend: Optional[str],
+    ) -> BatchRun:
+        session = self.session
+        merged = session._merged(variables)
+        plan, cache_hit = session._plan(query, engine, merged)
+        effective_limits = limits if limits is not None else session.limits
+        use_stream = stream if stream is not None else stream_by_default()
+        streamed = bool(use_stream and plan.streamable)
+        executor, ephemeral = resolve_executor(
+            parallel, max_workers=max_workers, backend=backend
+        )
+        if executor is None:
+            outcomes = [
+                evaluate_source(
+                    lambda: session.engine(plan.engine_name),
+                    plan, source, index, merged or None, effective_limits,
+                    select_nodes=select_nodes, use_stream=use_stream,
+                    strip_whitespace=self.strip_whitespace,
+                )
+                for index, source in enumerate(self._sources)
+            ]
+            results = BatchRun(plan=plan, cache_hit=cache_hit, streamed=streamed)
+        else:
+            try:
+                outcomes = executor.run_source_batch(
+                    self, plan, variables=merged or None, limits=effective_limits,
+                    select_nodes=select_nodes, use_stream=use_stream,
+                    session=session,
+                )
+            finally:
+                if ephemeral:
+                    executor.close()
+            results = BatchRun(
+                plan=plan, cache_hit=cache_hit, streamed=streamed,
+                backend=executor.backend, workers=executor.max_workers,
+            )
+        engine_label = "streaming" if streamed else plan.engine_name
+        for outcome in outcomes:
+            results.append(self._fold_outcome(outcome, engine_label, session))
+        return results
+
+    def _fold_outcome(
+        self, outcome: DocumentOutcome, engine_label: str, session
+    ) -> BatchResult:
+        index = outcome.index
+        name = self._names[index]
+        if outcome.error is not None:
+            session.stats.record_failure(engine_label, outcome.elapsed, outcome.error)
+            return BatchResult(index, name, None, error=outcome.error)
+        session.stats.record(engine_label, outcome.stats, outcome.elapsed)
+        if outcome.matches is not None:
+            return BatchResult(index, name, None, matches=outcome.matches)
+        return BatchResult(index, name, None, value=outcome.value)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"<SourceCollection of {len(self)} sources>"

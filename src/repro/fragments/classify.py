@@ -16,6 +16,7 @@ from __future__ import annotations
 import enum
 from dataclasses import dataclass
 
+from ..streaming import analyze_streamability
 from ..xpath.ast import Expression
 from ..xpath.normalize import compile_query
 from .core_xpath import CoreXPathEngine, is_core_xpath
@@ -52,6 +53,13 @@ class Classification:
     complexity: str
     recommended_engine: str
     wadler_violations: tuple[str, ...]
+    #: Whether the streaming backend can evaluate the query in one pass over
+    #: the XML event stream with O(depth) live state (orthogonal to the
+    #: Figure-1 lattice: it is a property of axes and predicates, not of the
+    #: fragment).  See :func:`repro.streaming.analyze_streamability`.
+    streamable: bool = False
+    #: Why the query is not streamable (empty when it is).
+    streaming_violations: tuple[str, ...] = ()
 
 
 def classify(query) -> Classification:
@@ -81,6 +89,7 @@ def classify_normalized(expression: Expression) -> Classification:
     else:
         fragment = Fragment.FULL_XPATH
         engine = "optmincontext"
+    streamability = analyze_streamability(expression)
     return Classification(
         fragment=fragment,
         in_core_xpath=core,
@@ -89,6 +98,8 @@ def classify_normalized(expression: Expression) -> Classification:
         complexity=COMPLEXITY_BOUNDS[fragment],
         recommended_engine=engine,
         wadler_violations=tuple(wadler_violations(expression)),
+        streamable=streamability.streamable,
+        streaming_violations=streamability.violations,
     )
 
 

@@ -60,11 +60,13 @@ from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 from .engines.base import EvalLimits, EvaluationStats
 from .errors import ReproError, XPathEvaluationError
 from .plan import CompiledQuery, PlanCache
+from .streaming import StreamMatch, stream_matches
 from .xmlmodel.document import Document
+from .xmlmodel.parser import parse_xml
 from .xpath.values import NodeSet, XPathValue
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
-    from .collection import Collection
+    from .collection import Collection, SourceCollection
     from .session import XPathSession
 
 #: Supported worker-pool backends.
@@ -113,6 +115,9 @@ class DocumentOutcome:
     value: Optional[XPathValue] = None
     #: Node orders of a node-set ``evaluate`` result.
     value_orders: Optional[list[int]] = None
+    #: Match records of a *source* batch (streamed, or tree-fallback results
+    #: converted — either way the worker's tree, if any, died with it).
+    matches: Optional[list[StreamMatch]] = None
     #: The per-document failure, when evaluation raised.
     error: Optional[ReproError] = None
     #: The evaluation's operation counters (partial on a limit breach).
@@ -159,6 +164,83 @@ def evaluate_document(
         outcome.orders = [node.order for node in value.in_document_order()]
     elif isinstance(value, NodeSet):
         outcome.value_orders = [node.order for node in value.in_document_order()]
+    else:
+        outcome.value = value
+    return outcome
+
+
+def evaluate_source(
+    engine_factory,
+    plan: CompiledQuery,
+    source: str,
+    index: int,
+    variables: Optional[Mapping[str, XPathValue]],
+    limits: Optional[EvalLimits],
+    *,
+    select_nodes: bool,
+    use_stream: bool,
+    strip_whitespace: bool,
+) -> DocumentOutcome:
+    """Evaluate one XML *source* and capture the outcome, never raising.
+
+    The source-batch twin of :func:`evaluate_document`, shared by the serial
+    :class:`~repro.collection.SourceCollection` loop and both worker
+    backends.  With ``use_stream`` and a streamable plan the source is
+    scanned single-pass — no tree is ever built; otherwise it is parsed,
+    evaluated on ``engine_factory()``'s engine, and the tree is dropped
+    before the outcome returns, so a worker holds at most one tree at a
+    time.  Node-set results travel as :class:`StreamMatch` records either
+    way (there is no parent-side tree to map node orders back onto).
+    """
+    started = time.perf_counter()
+    if use_stream and plan.streamable:
+        stats = EvaluationStats()
+        try:
+            matched = list(
+                stream_matches(
+                    plan,
+                    source,
+                    limits=limits,
+                    stats=stats,
+                    strip_whitespace=strip_whitespace,
+                )
+            )
+        except ReproError as error:
+            return DocumentOutcome(
+                index,
+                error=error,
+                stats=getattr(error, "stats", None) or stats,
+                elapsed=time.perf_counter() - started,
+            )
+        return DocumentOutcome(
+            index, matches=matched, stats=stats, elapsed=time.perf_counter() - started
+        )
+    try:
+        document = parse_xml(source, strip_whitespace=strip_whitespace)
+    except ReproError as error:
+        return DocumentOutcome(
+            index, error=error, elapsed=time.perf_counter() - started
+        )
+    runner = engine_factory()
+    try:
+        value = runner.evaluate(plan, document, None, variables, limits=limits)
+    except ReproError as error:
+        return DocumentOutcome(
+            index,
+            error=error,
+            stats=getattr(error, "stats", None),
+            elapsed=time.perf_counter() - started,
+        )
+    elapsed = time.perf_counter() - started
+    outcome = DocumentOutcome(index, stats=runner.last_stats, elapsed=elapsed)
+    if isinstance(value, NodeSet):
+        outcome.matches = [
+            StreamMatch.from_node(node) for node in value.in_document_order()
+        ]
+    elif select_nodes:
+        outcome.error = XPathEvaluationError(
+            f"query does not produce a node set (got {type(value).__name__})"
+        )
     else:
         outcome.value = value
     return outcome
@@ -219,6 +301,38 @@ def _process_chunk(
             select_nodes=select_nodes,
         )
         for index, document in chunk
+    ]
+
+
+def _process_source_chunk(
+    spec: _PlanSpec,
+    chunk: Sequence[tuple[int, str]],
+    variables: Optional[Mapping[str, XPathValue]],
+    limits: Optional[EvalLimits],
+    select_nodes: bool,
+    use_stream: bool,
+    strip_whitespace: bool,
+) -> list[DocumentOutcome]:
+    """Worker-process entry point for source batches: sources travel as
+    plain strings (far cheaper on the wire than pickled trees), and the
+    worker never holds more than one tree — or zero, when streaming."""
+    from .session import ENGINE_CLASSES  # deferred: workers import lazily
+
+    plan = _worker_plan(spec, variables)
+    runner_slot: list = []
+
+    def engine_factory():
+        if not runner_slot:
+            runner_slot.append(ENGINE_CLASSES[plan.engine_name]())
+        return runner_slot[0]
+
+    return [
+        evaluate_source(
+            engine_factory, plan, source, index, variables, limits,
+            select_nodes=select_nodes, use_stream=use_stream,
+            strip_whitespace=strip_whitespace,
+        )
+        for index, source in chunk
     ]
 
 
@@ -372,6 +486,84 @@ class ParallelExecutor:
         for future in futures:
             outcomes.extend(future.result())
         return outcomes
+
+    def run_source_batch(
+        self,
+        collection: "SourceCollection",
+        plan: CompiledQuery,
+        *,
+        variables: Optional[Mapping[str, XPathValue]],
+        limits: Optional[EvalLimits],
+        select_nodes: bool,
+        use_stream: bool,
+        session: "XPathSession",
+    ) -> list[DocumentOutcome]:
+        """Evaluate ``plan`` over every XML source, in parallel, in order.
+
+        The source-batch twin of :meth:`run_batch`: each worker either
+        streams its sources single-pass (streamable plan + ``use_stream``)
+        or parses-evaluates-drops one tree at a time, so peak memory per
+        worker is one tree at most — never the whole corpus.
+        """
+        sources = collection.sources
+        if not sources:
+            return []
+        strip = collection.strip_whitespace
+        chunks = self._chunks(len(sources))
+        pool = self._ensure_pool()
+        if self.backend == "thread":
+            futures = [
+                pool.submit(
+                    self._thread_source_chunk,
+                    session, plan, sources, chunk, variables, limits,
+                    select_nodes, use_stream, strip,
+                )
+                for chunk in chunks
+            ]
+        else:
+            _ensure_process_portable(variables)
+            spec = _PlanSpec(
+                source=plan.source,
+                engine_name=plan.engine_name,
+                plan=plan if plan.source is None else None,
+            )
+            futures = [
+                pool.submit(
+                    _process_source_chunk,
+                    spec,
+                    [(index, sources[index]) for index in chunk],
+                    variables, limits, select_nodes, use_stream, strip,
+                )
+                for chunk in chunks
+            ]
+        outcomes: list[DocumentOutcome] = []
+        for future in futures:
+            outcomes.extend(future.result())
+        return outcomes
+
+    @staticmethod
+    def _thread_source_chunk(
+        session: "XPathSession",
+        plan: CompiledQuery,
+        sources: Sequence[str],
+        chunk: range,
+        variables: Optional[Mapping[str, XPathValue]],
+        limits: Optional[EvalLimits],
+        select_nodes: bool,
+        use_stream: bool,
+        strip_whitespace: bool,
+    ) -> list[DocumentOutcome]:
+        # The fallback engine comes from the session pool (per-thread), and
+        # only materialises when some source actually needs the tree path.
+        return [
+            evaluate_source(
+                lambda: session.engine(plan.engine_name),
+                plan, sources[index], index, variables, limits,
+                select_nodes=select_nodes, use_stream=use_stream,
+                strip_whitespace=strip_whitespace,
+            )
+            for index in chunk
+        ]
 
     @staticmethod
     def _thread_chunk(

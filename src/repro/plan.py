@@ -111,6 +111,10 @@ class CompiledQuery:
     _algebra_plans: dict = field(
         default_factory=dict, repr=False, compare=False, hash=False
     )
+    #: Memoised streaming automaton (one-slot dict; see stream_automaton()).
+    _stream_automata: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
 
     def __eq__(self, other: object) -> bool:
         return self is other
@@ -130,6 +134,17 @@ class CompiledQuery:
     def fragment_name(self) -> str:
         """Human-readable Figure-1 fragment name."""
         return self.classification.fragment.value
+
+    @property
+    def streamable(self) -> bool:
+        """True when the single-pass streaming backend can evaluate the plan
+        (forward downward axes, start-event-decidable predicates)."""
+        return self.classification.streamable
+
+    @property
+    def streaming_violations(self) -> tuple[str, ...]:
+        """Why the plan is not streamable (empty when it is)."""
+        return self.classification.streaming_violations
 
     def to_xpath(self) -> str:
         """The query rendered back to unabbreviated XPath syntax."""
@@ -163,6 +178,24 @@ class CompiledQuery:
             plan = compiler_class().compile_query(self.expression)
             self._algebra_plans[compiler_class] = plan
         return plan
+
+    def stream_automaton(self):
+        """The plan's streaming automaton, memoised like the algebra plans.
+
+        A batch over N sources reuses one automaton per plan instead of
+        re-walking the AST N times.  The same benign get/set race as
+        :meth:`algebra_plan` applies: automata are immutable and
+        equivalent, so the worst case is one redundant compilation.
+        Raises :class:`~repro.errors.XPathEvaluationError` when the plan
+        is not streamable.
+        """
+        automaton = self._stream_automata.get("automaton")
+        if automaton is None:
+            from .streaming import StreamAutomaton  # deferred: cycle-free
+
+            automaton = StreamAutomaton(self.expression)
+            self._stream_automata["automaton"] = automaton
+        return automaton
 
     # ------------------------------------------------------------------
     # Convenience evaluation (delegates to the resolved engine)
@@ -267,8 +300,10 @@ def _retarget(plan: CompiledQuery, engine: str) -> CompiledQuery:
         library_signature=plan.library_signature,
         relevance=plan.relevance,
     )
-    # The algebra plans depend only on the AST, so they carry over.
+    # The algebra plans and the streaming automaton depend only on the
+    # AST, so they carry over.
     retargeted._algebra_plans.update(plan._algebra_plans)
+    retargeted._stream_automata.update(plan._stream_automata)
     return retargeted
 
 

@@ -69,11 +69,12 @@ from .fragments.classify import Classification
 from .fragments.core_xpath import CoreXPathEngine
 from .fragments.xpatterns import XPatternsEngine
 from .plan import DEFAULT_ENGINE, CompiledQuery, PlanCache, plan_for
+from .streaming import StreamMatch, stream_matches
 from .xmlmodel.document import Document
 from .xmlmodel.nodes import Node
 from .xmlmodel.parser import parse_xml
 from .xpath.context import Context
-from .xpath.values import NodeSet, XPathValue
+from .xpath.values import NodeSet, ValueType, XPathValue
 
 #: Registry of all engines by name (re-exported as ``repro.api.ENGINE_CLASSES``).
 ENGINE_CLASSES: dict[str, type[XPathEngine]] = {
@@ -268,6 +269,15 @@ def render_explanation(
     lines.append(f"normalized: {plan.to_xpath()}")
     classification = plan.classification
     lines.append(f"fragment:   {classification.fragment.value}  [{classification.complexity}]")
+    if classification.streamable:
+        lines.append("streaming:  yes (single-pass, O(depth) state)")
+    else:
+        reason = (
+            classification.streaming_violations[0]
+            if classification.streaming_violations
+            else "not a streamable location path"
+        )
+        lines.append(f"streaming:  no ({reason})")
     notes = []
     if plan.requested_engine == "auto":
         notes.append("resolved from 'auto'")
@@ -290,6 +300,47 @@ def render_explanation(
     if elapsed_seconds is not None:
         lines.append(f"time:       {elapsed_seconds * 1000:.3f} ms")
     return "\n".join(lines)
+
+
+# ----------------------------------------------------------------------
+# StreamRun
+# ----------------------------------------------------------------------
+class StreamRun(list):
+    """``list[StreamMatch]`` plus the provenance of one source evaluation.
+
+    Returned by :meth:`XPathSession.stream` (and :func:`repro.api.stream`
+    when materialised).  :attr:`streamed` says which backend produced the
+    matches: ``True`` for the single-pass automaton (no tree was ever
+    built), ``False`` for the tree-engine fallback a non-streamable plan
+    takes — either way the matches are the same records, so callers need
+    not care unless they want to.
+    """
+
+    def __init__(
+        self,
+        matches=(),
+        *,
+        plan: CompiledQuery,
+        streamed: bool,
+        stats: Optional[EvaluationStats] = None,
+        elapsed_seconds: float = 0.0,
+        cache_hit: Optional[bool] = None,
+    ):
+        super().__init__(matches)
+        self.plan = plan
+        self.streamed = streamed
+        self.stats = stats
+        self.elapsed_seconds = elapsed_seconds
+        self.cache_hit = cache_hit
+
+    @property
+    def orders(self) -> list[int]:
+        """Document orders of the matches (the differential-test currency)."""
+        return [match.order for match in self]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        backend = "streamed" if self.streamed else "tree fallback"
+        return f"<StreamRun {len(self)} match(es) via {backend}>"
 
 
 # ----------------------------------------------------------------------
@@ -388,6 +439,22 @@ class XPathSession:
         from .collection import Collection  # local import to avoid a cycle
 
         return Collection(documents, names=names, session=self)
+
+    def stream_collection(
+        self,
+        sources: Iterable[str],
+        names: Optional[Sequence[str]] = None,
+        *,
+        strip_whitespace: bool = False,
+    ):
+        """Wrap XML *texts* in a session-bound
+        :class:`~repro.collection.SourceCollection` — batches hold at most
+        one tree per worker (zero when the plan streams)."""
+        from .collection import SourceCollection  # local import to avoid a cycle
+
+        return SourceCollection(
+            sources, names=names, strip_whitespace=strip_whitespace, session=self
+        )
 
     # ------------------------------------------------------------------
     # Compilation
@@ -512,6 +579,88 @@ class XPathSession:
         return self.run(
             query, document, context, engine=engine, variables=variables, limits=limits
         ).nodes
+
+    def stream(
+        self,
+        query: QueryLike,
+        source: str,
+        *,
+        engine: Optional[str] = None,
+        variables: Optional[Mapping[str, XPathValue]] = None,
+        limits: Optional[EvalLimits] = None,
+        strip_whitespace: bool = False,
+        require: bool = False,
+    ) -> StreamRun:
+        """Evaluate a node-set query over XML *text*, single-pass when possible.
+
+        When the plan is streamable, the source is scanned once by the
+        streaming automaton — no :class:`Document` is built, live state is
+        O(depth) — and the matches arrive as :class:`StreamMatch` records in
+        document order.  Otherwise the source is parsed and the plan's tree
+        engine evaluates it (the automatic fallback); the result is converted
+        to the same match records, so both backends return one shape.
+
+        ``require=True`` raises instead of falling back (used by tests and
+        benchmarks that must not silently build a tree).  The session's
+        limits, plan cache and statistics apply to both backends; streamed
+        evaluations appear in :attr:`stats` under the pseudo-engine name
+        ``"streaming"``.
+        """
+        merged = self._merged(variables)
+        plan, cache_hit = self._plan(query, engine, merged)
+        # Fail fast on statically non-node-set queries: the fallback would
+        # otherwise parse and evaluate the whole source before .nodes
+        # rejects the scalar result.  UNKNOWN (variable-typed) passes
+        # through — it may be a node set at run time.
+        if plan.static_type not in (ValueType.NODE_SET, ValueType.UNKNOWN):
+            raise XPathEvaluationError(
+                f"stream() needs a node-set query "
+                f"(got static type {plan.static_type.value})"
+            )
+        effective_limits = limits if limits is not None else self.limits
+        if plan.streamable:
+            stats = EvaluationStats()
+            started = time.perf_counter()
+            try:
+                matches = list(
+                    stream_matches(
+                        plan,
+                        source,
+                        limits=effective_limits,
+                        stats=stats,
+                        strip_whitespace=strip_whitespace,
+                    )
+                )
+            except ReproError as error:
+                self.stats.record_failure(
+                    "streaming", time.perf_counter() - started, error
+                )
+                raise
+            elapsed = time.perf_counter() - started
+            self.stats.record("streaming", stats, elapsed)
+            return StreamRun(
+                matches,
+                plan=plan,
+                streamed=True,
+                stats=stats,
+                elapsed_seconds=elapsed,
+                cache_hit=cache_hit,
+            )
+        if require:
+            reasons = "; ".join(plan.streaming_violations) or "not a location path"
+            raise XPathEvaluationError(f"query is not streamable: {reasons}")
+        document = parse_xml(source, strip_whitespace=strip_whitespace)
+        result = self.run(
+            plan, document, engine=engine, variables=variables, limits=effective_limits
+        )
+        return StreamRun(
+            (StreamMatch.from_node(node) for node in result.nodes),
+            plan=result.plan,
+            streamed=False,
+            stats=result.stats,
+            elapsed_seconds=result.elapsed_seconds,
+            cache_hit=cache_hit,
+        )
 
     def explain(
         self,

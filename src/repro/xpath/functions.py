@@ -191,21 +191,30 @@ class FunctionLibrary:
         number = to_number(value)
         if math.isnan(number) or math.isinf(number):
             return number
-        return float(math.floor(number))
+        # math.floor returns an int, losing the sign of -0.0; restore it
+        # (floor(-0) is -0 per the spec's IEEE semantics).
+        return _restore_zero_sign(float(math.floor(number)), number)
 
     @staticmethod
     def _ceiling(value: XPathValue) -> float:
         number = to_number(value)
         if math.isnan(number) or math.isinf(number):
             return number
-        return float(math.ceil(number))
+        # ceiling of a negative fraction (and of -0) is negative zero:
+        # ceiling(-0.3) = -0, observable via 1 div ceiling(-0.3).
+        return _restore_zero_sign(float(math.ceil(number)), number)
 
     @staticmethod
     def _round(value: XPathValue) -> float:
         number = to_number(value)
         if math.isnan(number) or math.isinf(number):
             return number
-        # XPath rounds ties towards positive infinity.
+        if number == 0:  # ±0 pass through with their sign
+            return number
+        # XPath rounds ties towards positive infinity; arguments in
+        # [-0.5, -0) round to *negative* zero (XPath 1.0 §4.4).
+        if -0.5 <= number < 0:
+            return -0.0
         return float(math.floor(number + 0.5))
 
     # ------------------------------------------------------------------
@@ -405,3 +414,10 @@ def _flip(op: str) -> str:
 
 def _is_negative_zero(value: float) -> bool:
     return value == 0 and math.copysign(1.0, value) < 0
+
+
+def _restore_zero_sign(result: float, source: float) -> float:
+    """Give a zero ``result`` the sign of the number it was derived from."""
+    if result == 0:
+        return math.copysign(0.0, source)
+    return result

@@ -17,6 +17,7 @@ from __future__ import annotations
 
 import enum
 import math
+import re
 from operator import attrgetter
 from typing import Iterable, Iterator, Optional, Union
 
@@ -349,15 +350,29 @@ def to_number(value: XPathValue) -> float:
     raise TypeError(f"cannot convert {value!r} to a number")
 
 
+#: The XPath 1.0 *Number* production with an optional leading minus sign:
+#: ``Number ::= Digits ('.' Digits?)? | '.' Digits``.  Deliberately narrower
+#: than Python's ``float()``: no exponents (``1e2``), no ``+`` sign, no
+#: ``Infinity``/``nan`` spellings, no underscores — all of those must convert
+#: to NaN per the recommendation's number() rules.
+_NUMBER_GRAMMAR = re.compile(r"-?(?:[0-9]+(?:\.[0-9]*)?|\.[0-9]+)\Z")
+
+#: XML whitespace (the only characters number() may strip; Python's ``strip``
+#: would also eat unicode spaces the spec does not allow around a Number).
+_XML_WHITESPACE = " \t\r\n"
+
+
 def string_to_number(text: str) -> float:
-    """The ``to_number`` lexical rule: optional sign, digits, optional fraction."""
-    stripped = text.strip()
-    if not stripped:
+    """The ``to_number`` lexical rule (XPath 1.0 §4.4).
+
+    Optional XML whitespace, an optional minus sign, then the *Number*
+    grammar: digits with an optional fraction part.  Anything else — an
+    exponent, a ``+`` sign, ``Infinity``, a second sign — is NaN.
+    """
+    stripped = text.strip(_XML_WHITESPACE)
+    if not _NUMBER_GRAMMAR.match(stripped):
         return math.nan
-    try:
-        return float(stripped)
-    except ValueError:
-        return math.nan
+    return float(stripped)
 
 
 def to_string(value: XPathValue) -> str:

@@ -72,6 +72,49 @@ class TestCli:
         )
 
 
+class TestCliStream:
+    def test_stream_prints_matches(self, capsys):
+        assert run(["//b", "--stream"], stdin="<a><b>x</b><b/></a>") == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 2
+        assert lines[0].startswith("2\tb")
+
+    def test_stream_classify_reports_streamable(self, capsys):
+        assert run(["//b", "--stream", "--classify"], stdin="<a><b/></a>") == 0
+        assert "streaming: yes" in capsys.readouterr().out
+
+    def test_stream_falls_back_for_non_streamable_node_set(self, capsys):
+        # Reverse axis: not streamable, but the tree fallback prints the
+        # same match shape.
+        assert run(["//b/parent::a", "--stream"], stdin="<a><b/></a>") == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert len(lines) == 1 and lines[0].startswith("1\ta")
+
+    def test_stream_falls_back_for_scalar_query(self, capsys):
+        # Scalars cannot stream; --stream must still print the value, not
+        # fail (the advertised automatic fallback).
+        assert run(["count(//b)", "--stream"], stdin="<a><b/><b/></a>") == 0
+        assert capsys.readouterr().out.strip() == "2"
+
+    def test_stream_respects_limits(self, capsys):
+        assert (
+            run(["//b", "--stream", "--max-ops", "2"], stdin="<a><b/><b/></a>")
+            == 3
+        )
+        assert "limit exceeded" in capsys.readouterr().err
+
+    def test_batch_stream_flag(self, tmp_path, capsys):
+        paths = []
+        for index, source in enumerate(["<a><b/><b/></a>", "<a/>"]):
+            path = tmp_path / f"s{index}.xml"
+            path.write_text(source, encoding="utf-8")
+            paths.append(str(path))
+        assert run(["batch", "//b", *paths, "--stream"]) == 0
+        lines = capsys.readouterr().out.strip().splitlines()
+        assert lines[0].endswith("2 node(s)")
+        assert lines[1].endswith("0 node(s)")
+
+
 class TestCliLimits:
     def test_max_ops_breach_exits_3(self, catalog_file, capsys):
         assert run(["//book", catalog_file, "--engine", "naive", "--max-ops", "1"]) == 3
@@ -173,10 +216,11 @@ class TestCliBatch:
     def test_batch_limit_breach_exits_3_and_isolates(self, files, capsys):
         big = files[0]
         assert run(["batch", "//b", *files, "--max-ops", "4", "--jobs", "2"]) in (1, 3)
-        # Deterministic split: 12 counted ops for the two-b file, 6 for the
-        # empty one — a budget of 8 breaches exactly the first.
+        # Deterministic split whichever backend runs: the two-b file costs 12
+        # tree ops (7 streamed), the empty one 6 (2 streamed) — a budget of 6
+        # breaches exactly the first under both accountings.
         capsys.readouterr()
-        code = run(["batch", "//b", big, files[1], "--max-ops", "8"])
+        code = run(["batch", "//b", big, files[1], "--max-ops", "6"])
         captured = capsys.readouterr()
         assert code == 3
         assert "operation budget" in captured.err

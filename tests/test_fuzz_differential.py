@@ -20,10 +20,14 @@ import pytest
 
 from repro import api
 from repro.engines.base import EvalLimits
+from repro.errors import ResourceLimitExceeded
 from repro.parallel import ParallelExecutor
 from repro.plan import PlanCache, plan_for
 from repro.session import XPathSession
+from repro.streaming import stream_select
 from repro.workloads.documents import doc_figure8, doc_flat, random_document
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import serialize
 
 FUZZ_SEED = int(os.environ.get("REPRO_FUZZ_SEED", "20260731"))
 CORE_QUERY_COUNT = 60
@@ -240,6 +244,83 @@ def test_parallel_batches_match_serial(query, executors):
                 f"{executor.backend} backend disagrees with serial for "
                 f"{engine} on {query!r}: {got} != {expected}"
             )
+
+
+# ----------------------------------------------------------------------
+# Streaming ↔ tree differential (ISSUE 5)
+#
+# Every streamable fuzzed query runs through the single-pass streaming
+# evaluator over the *serialised* fuzz documents and must match every tree
+# engine node-for-node on the re-parsed text (serialise → parse is
+# structure-preserving, so the document orders line up).  Resource-limit
+# parity rides along: the backend-independent max_result_nodes cap must
+# breach identically, and a one-operation budget must abort both backends.
+# ----------------------------------------------------------------------
+STREAMABLE_QUERIES = [
+    query for query in ALL_QUERIES if api.classify_query(query).streamable
+]
+
+#: The fixed seed must keep yielding a meaningful streaming sweep; if a
+#: grammar change sinks this floor, regenerate or extend the corpus.
+MIN_STREAMABLE_CASES = 8
+
+DOCUMENT_SOURCES = {
+    name: serialize(document) for name, document in DOCUMENTS.items()
+}
+
+
+def test_fuzz_corpus_has_streamable_cases():
+    assert len(STREAMABLE_QUERIES) >= MIN_STREAMABLE_CASES, STREAMABLE_QUERIES
+
+
+@pytest.mark.parametrize(
+    "query", STREAMABLE_QUERIES, ids=range(len(STREAMABLE_QUERIES))
+)
+def test_streaming_matches_every_tree_engine(query):
+    for doc_name, source in DOCUMENT_SOURCES.items():
+        document = parse_xml(source)
+        streamed = [match.order for match in stream_select(query, source)]
+        for engine in _engines_for(query):
+            tree = _orders(engine, query, document)
+            assert streamed == tree, (
+                f"streaming vs {engine} on {query!r} over {doc_name}: "
+                f"{streamed} != {tree}"
+            )
+
+
+@pytest.mark.parametrize(
+    "query",
+    STREAMABLE_QUERIES[: max(MIN_STREAMABLE_CASES, len(STREAMABLE_QUERIES) // 2)],
+    ids=range(max(MIN_STREAMABLE_CASES, len(STREAMABLE_QUERIES) // 2)),
+)
+def test_streaming_limit_parity(query):
+    """ResourceLimitExceeded parity between the backends.
+
+    The result-node cap is accounting-independent, so for every document the
+    streamed scan must breach exactly when the tree engine does (cap set one
+    below the actual result size, then exactly at it); the operation budget
+    is accounting-*dependent*, so parity there is behavioural: a minimal
+    budget aborts both backends with the same exception type.
+    """
+    for doc_name, source in DOCUMENT_SOURCES.items():
+        document = parse_xml(source)
+        result_size = len(api.select(query, document))
+        if result_size > 0:
+            tight = EvalLimits(max_result_nodes=result_size - 1)
+            with pytest.raises(ResourceLimitExceeded):
+                stream_select(query, source, limits=tight)
+            with pytest.raises(ResourceLimitExceeded):
+                api.select(query, document, limits=tight)
+        exact = EvalLimits(max_result_nodes=max(result_size, 1))
+        assert [m.order for m in stream_select(query, source, limits=exact)] == [
+            node.order for node in api.select(query, document, limits=exact)
+        ], (query, doc_name)
+    minimal = EvalLimits(max_operations=1)
+    source = DOCUMENT_SOURCES["figure8"]
+    with pytest.raises(ResourceLimitExceeded):
+        stream_select(query, source, limits=minimal)
+    with pytest.raises(ResourceLimitExceeded):
+        api.select(query, parse_xml(source), limits=minimal)
 
 
 @pytest.mark.parametrize(

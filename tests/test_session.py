@@ -83,6 +83,7 @@ class TestQueryResult:
             query:      //b
             normalized: /descendant-or-self::node()/child::b
             fragment:   Core XPath  [time O(|D|·|Q|)]
+            streaming:  yes (single-pass, O(depth) state)
             engine:     topdown  (fragment recommends corexpath)
             cache:      miss (compiled)
             limits:     unlimited
@@ -99,6 +100,7 @@ class TestQueryResult:
             query:      //b
             normalized: /descendant-or-self::node()/child::b
             fragment:   Core XPath  [time O(|D|·|Q|)]
+            streaming:  yes (single-pass, O(depth) state)
             engine:     corexpath  (resolved from 'auto', recommended for this fragment)
             cache:      miss (compiled)
             limits:     unlimited

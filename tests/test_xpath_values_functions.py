@@ -7,6 +7,7 @@ import math
 import pytest
 
 from repro.errors import XPathTypeError
+from repro.xmlmodel.parser import parse_xml
 from repro.xpath.context import StaticContext
 from repro.xpath.functions import FunctionLibrary
 from repro.xpath.values import (
@@ -253,3 +254,143 @@ class TestCoreFunctions:
 
         with pytest.raises(XPathEvaluationError):
             library.call("frobnicate", [])
+
+
+# ----------------------------------------------------------------------
+# XPath 1.0 Number-grammar conformance (ISSUE 5 bugfix)
+# ----------------------------------------------------------------------
+class TestNumberGrammarConformance:
+    """``number()`` accepts exactly ``-? Digits ('.' Digits?)? | -? '.' Digits``
+    with surrounding XML whitespace — not Python's ``float()`` grammar."""
+
+    NAN_STRINGS = [
+        "1e2", "1E2", "+1", "+1.5", "Infinity", "-Infinity", "INF", "-inf",
+        "NaN", "nan", "0x1A", "1_000", "1e-2", "1.5e3", "--1", "- 1",
+        "1.2.3", ".", "-", "", "   ", "1,000", " 1",  # NBSP is not XML whitespace
+    ]
+    VALID_STRINGS = [
+        ("42", 42.0),
+        ("-17", -17.0),
+        ("3.5", 3.5),
+        ("-3.5", -3.5),
+        (".5", 0.5),
+        ("-.5", -0.5),
+        ("1.", 1.0),
+        ("007", 7.0),
+        (" \t\r\n12 \t\r\n", 12.0),
+        ("0", 0.0),
+    ]
+
+    @pytest.mark.parametrize("text", NAN_STRINGS)
+    def test_rejected_spellings_are_nan(self, text):
+        from repro.xpath.values import string_to_number
+
+        assert math.isnan(string_to_number(text)), repr(text)
+        assert math.isnan(to_number(text))
+
+    @pytest.mark.parametrize("text,expected", VALID_STRINGS)
+    def test_number_grammar_accepts(self, text, expected):
+        assert to_number(text) == expected
+
+    def test_negative_zero_string_keeps_its_sign(self):
+        assert math.copysign(1.0, to_number("-0")) == -1.0
+        assert math.copysign(1.0, to_number("-0.0")) == -1.0
+
+    def test_every_engine_agrees_number_1e2_is_nan(self):
+        from repro import api
+
+        doc = parse_xml("<a/>")
+        engines = [
+            name for name in api.engine_names()
+            if name not in ("corexpath", "xpatterns")  # fragment engines
+        ]
+        for query in ("number('1e2')", "number('+1')", "number('Infinity')"):
+            for engine in engines:
+                value = api.evaluate(query, doc, engine=engine)
+                assert math.isnan(value), (query, engine)
+
+    def test_propagates_to_sum_and_comparisons(self):
+        from repro import api
+
+        doc = parse_xml("<a><b>1e2</b><b>3</b></a>")
+        assert math.isnan(api.evaluate("sum(//b)", doc))
+        assert math.isnan(api.evaluate("number(//b)", doc))
+        # '1e2' = 100 was true under the float() grammar; must be false.
+        assert api.evaluate("'1e2' = 100", doc) is False
+        assert api.evaluate("//b = 100", doc) is False
+        assert api.evaluate("//b = 3", doc) is True
+        assert api.evaluate("'1e2' < 100", doc) is False
+        assert api.evaluate("'12' = 12", doc) is True
+
+    def test_numeric_literals_in_queries_are_unaffected(self):
+        from repro import api
+
+        doc = parse_xml("<a/>")
+        assert api.evaluate("1.5 + 2", doc) == 3.5
+        assert api.evaluate("100 = 100.0", doc) is True
+
+
+# ----------------------------------------------------------------------
+# Signed-zero conformance of round()/floor()/ceiling() (ISSUE 5 bugfix)
+# ----------------------------------------------------------------------
+class TestSignedZeroRounding:
+    """round(x) for x in [-0.5, -0) is *negative* zero; floor/ceiling keep
+    the argument's zero sign.  copysign-asserted because -0.0 == 0.0."""
+
+    ROUND_TABLE = [
+        (2.5, 3.0), (-2.5, -2.0), (0.4, 0.0), (-0.4, -0.0), (-0.5, -0.0),
+        (0.0, 0.0), (-0.0, -0.0), (1.0, 1.0), (-1.0, -1.0), (-0.51, -1.0),
+    ]
+    FLOOR_TABLE = [
+        (0.3, 0.0), (-0.3, -1.0), (0.0, 0.0), (-0.0, -0.0), (2.6, 2.0),
+    ]
+    CEILING_TABLE = [
+        (0.3, 1.0), (-0.3, -0.0), (0.0, 0.0), (-0.0, -0.0), (-2.6, -2.0),
+    ]
+
+    @staticmethod
+    def _assert_same_float(got, expected):
+        assert got == expected
+        assert math.copysign(1.0, got) == math.copysign(1.0, expected), (
+            got, expected,
+        )
+
+    @pytest.mark.parametrize("argument,expected", ROUND_TABLE)
+    def test_round(self, library, argument, expected):
+        self._assert_same_float(library.call("round", [argument]), expected)
+
+    @pytest.mark.parametrize("argument,expected", FLOOR_TABLE)
+    def test_floor(self, library, argument, expected):
+        self._assert_same_float(library.call("floor", [argument]), expected)
+
+    @pytest.mark.parametrize("argument,expected", CEILING_TABLE)
+    def test_ceiling(self, library, argument, expected):
+        self._assert_same_float(library.call("ceiling", [argument]), expected)
+
+    @pytest.mark.parametrize("function", ["round", "floor", "ceiling"])
+    def test_nan_and_infinity_pass_through(self, library, function):
+        assert math.isnan(library.call(function, [float("nan")]))
+        assert library.call(function, [float("inf")]) == float("inf")
+        assert library.call(function, [float("-inf")]) == float("-inf")
+
+    def test_negative_zero_observable_through_division(self):
+        from repro import api
+
+        doc = parse_xml("<a/>")
+        engines = [
+            name for name in api.engine_names()
+            if name not in ("corexpath", "xpatterns")
+        ]
+        for engine in engines:
+            assert (
+                api.evaluate("string(1 div round(-0.5))", doc, engine=engine)
+                == "-Infinity"
+            ), engine
+            assert (
+                api.evaluate("string(1 div ceiling(-0.3))", doc, engine=engine)
+                == "-Infinity"
+            ), engine
+            assert (
+                api.evaluate("string(1 div round(0.4))", doc, engine=engine)
+                == "Infinity"
+            ), engine
