@@ -1,0 +1,107 @@
+#!/usr/bin/env python3
+"""Fault-tolerant batch execution: dead workers, deadlines, fault reports.
+
+Walks through the ISSUE-6 robustness layer using the deterministic
+fault-injection harness, so every "failure" below is reproducible:
+
+1. a killed process worker recovered transparently by retry,
+2. a worker killed on every attempt, degrading the batch to serial,
+3. a hung document converted into a per-document limit error by the
+   batch deadline,
+4. ``fail_fast=True`` cancelling the remainder after the first failure.
+
+Run with::
+
+    python examples/fault_tolerant_batch.py
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro import XPathSession
+from repro.faultinject import FaultPlan, inject
+from repro.parallel import ParallelExecutor, RetryPolicy
+
+QUERY = "//b"
+SOURCES = [
+    "<a><b/><b/></a>",
+    "<a/>",
+    "<a><b>c</b><c/><b>c</b></a>",
+    "<a x='1'><b y='2'>t</b></a>",
+    "<a><a><b/></a></a>",
+    "<a><b/><b/><b/></a>",
+]
+RETRY = RetryPolicy(max_attempts=3, backoff_base=0.02, backoff_cap=0.1)
+
+
+def show(title: str, batch) -> None:
+    print(f"== {title} ==")
+    for result in batch:
+        if result.ok:
+            print(f"  {result.name}: {len(result.nodes)} node(s)")
+        else:
+            print(f"  {result.name}: {type(result.error).__name__}: {result.error}")
+    if batch.failure_report is not None:
+        print(f"  faults: {batch.failure_report.summary()}")
+        for fate in batch.failure_report.fates:
+            print(f"    {fate.describe()}")
+    print()
+
+
+def main() -> None:
+    session = XPathSession(engine="auto")
+    docs = session.parse_collection(SOURCES)
+    serial = docs.select(QUERY)
+    show("Fault-free serial baseline", serial)
+
+    # 1. Kill the process worker holding documents 0-2 — once.  The chunk
+    #    is split and resubmitted on a fresh pool; results are identical to
+    #    serial and the report records the recovery chain.
+    with inject(FaultPlan.parse("kill@chunk:index=0,max_attempt=1")):
+        with ParallelExecutor(backend="process", max_workers=2) as ex:
+            batch = docs.select(QUERY, parallel=ex, retries=RETRY)
+    assert [len(r.nodes) for r in batch] == [len(r.nodes) for r in serial]
+    show("Worker killed once: recovered by retry", batch)
+
+    # 2. Kill it on *every* attempt: after the retry budget the executor
+    #    degrades the stragglers to in-parent serial evaluation — the batch
+    #    still completes, and the backend transition is on record.
+    with inject(FaultPlan.parse("kill@chunk:index=0")):
+        with ParallelExecutor(backend="process", max_workers=2) as ex:
+            batch = docs.select(
+                QUERY, parallel=ex,
+                retries=RetryPolicy(max_attempts=2, backoff_base=0.02),
+            )
+    assert batch.ok and "process->serial" in batch.failure_report.backend_transitions
+    show("Worker killed every attempt: degraded to serial", batch)
+
+    # 3. Hang document 1 for 2.5 s under a 0.5 s batch deadline: the batch
+    #    returns within the deadline (plus a small grace), the hung document
+    #    fails with a batch_deadline limit error, completed ones survive.
+    started = time.perf_counter()
+    with inject(FaultPlan.parse("hang@document:index=1,seconds=2.5")):
+        with ParallelExecutor(backend="process", max_workers=2, chunk_size=1) as ex:
+            batch = docs.select(QUERY, parallel=ex, deadline=0.5, retries=RETRY)
+    elapsed = time.perf_counter() - started
+    print(f"(deadline batch returned in {elapsed * 1000:.0f} ms, hang was 2500 ms)")
+    show("Hung document bounded by the batch deadline", batch)
+
+    # 4. fail_fast: stop at the first failure, cancel the rest.
+    with inject(FaultPlan.parse("raise@document:index=1")):
+        batch = docs.select(QUERY, fail_fast=True)
+    show("fail_fast=True: remainder cancelled after the first failure", batch)
+
+    print("session fault counters:", {
+        key: value
+        for key, value in session.stats.as_dict().items()
+        if key in ("worker_failures", "retries", "degraded_chunks")
+    })
+
+
+if __name__ == "__main__":
+    main()

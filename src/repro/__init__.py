@@ -65,11 +65,13 @@ from .api import (
     Collection,
     CompiledQuery,
     EvalLimits,
+    FailureReport,
     MultiQueryRun,
     ParallelExecutor,
     PlanCache,
     PlanReport,
     QueryResult,
+    RetryPolicy,
     SessionStats,
     SourceCollection,
     StreamMatch,
@@ -94,10 +96,13 @@ from .api import (
     stream_collection,
 )
 from .errors import (
+    BatchAborted,
     FragmentError,
     ReproError,
     ResourceLimitExceeded,
+    UnexpectedEvaluationError,
     VariableBindingError,
+    WorkerLostError,
     XMLSyntaxError,
     XPathEvaluationError,
     XPathSyntaxError,
@@ -107,6 +112,7 @@ from .errors import (
 __version__ = "1.1.0"
 
 __all__ = [
+    "BatchAborted",
     "BatchResult",
     "BatchRun",
     "Collection",
@@ -114,6 +120,7 @@ __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_CLASSES",
     "EvalLimits",
+    "FailureReport",
     "FragmentError",
     "MultiQueryRun",
     "ParallelExecutor",
@@ -122,8 +129,11 @@ __all__ = [
     "QueryResult",
     "ReproError",
     "ResourceLimitExceeded",
+    "RetryPolicy",
     "SessionStats",
+    "UnexpectedEvaluationError",
     "VariableBindingError",
+    "WorkerLostError",
     "XMLSyntaxError",
     "XPathEvaluationError",
     "XPathSession",

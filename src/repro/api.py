@@ -66,7 +66,7 @@ from .collection import (
     SourceCollection,
 )
 from .engines.base import EvalLimits, XPathEngine
-from .parallel import ParallelExecutor
+from .parallel import FailureReport, ParallelExecutor, RetryPolicy
 from .errors import XPathEvaluationError
 from .fragments.classify import Classification, classify
 from .plan import (
@@ -236,6 +236,7 @@ def parallel_executor(
     backend: str = "thread",
     max_workers: Optional[int] = None,
     chunk_size: Optional[int] = None,
+    retry: Union[None, int, RetryPolicy] = None,
 ) -> ParallelExecutor:
     """Create a reusable :class:`~repro.parallel.ParallelExecutor`.
 
@@ -243,10 +244,13 @@ def parallel_executor(
     one worker pool across many batches (``backend="process"`` scales
     CPU-bound batches across cores; ``"thread"`` shares the session's plan
     cache at near-zero setup cost).  Use as a context manager, or call
-    :meth:`~repro.parallel.ParallelExecutor.close` when done.
+    :meth:`~repro.parallel.ParallelExecutor.close` when done.  ``retry``
+    sets the executor's default worker-loss recovery policy — a retry
+    count, or a full :class:`~repro.parallel.RetryPolicy`.
     """
     return ParallelExecutor(
-        backend=backend, max_workers=max_workers, chunk_size=chunk_size
+        backend=backend, max_workers=max_workers, chunk_size=chunk_size,
+        retry=retry,
     )
 
 
@@ -363,11 +367,13 @@ __all__ = [
     "DEFAULT_ENGINE",
     "ENGINE_CLASSES",
     "EvalLimits",
+    "FailureReport",
     "MultiQueryRun",
     "ParallelExecutor",
     "PlanCache",
     "PlanReport",
     "QueryResult",
+    "RetryPolicy",
     "SessionStats",
     "SourceCollection",
     "StreamMatch",

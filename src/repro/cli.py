@@ -7,6 +7,7 @@ Usage::
     python -m repro.cli explain QUERY [FILE] [--engine NAME] [--plan-only]
     python -m repro.cli batch QUERY FILE [FILE ...] [--jobs N]
                         [--backend thread|process] [--stream] [--count]
+                        [--retries N] [--deadline S] [--fail-fast]
 
 The first form reads the XML document from FILE (or stdin when omitted),
 evaluates QUERY through the default session and prints the result: one line
@@ -34,6 +35,15 @@ stopping the batch.
 Resource limits (``--max-ops``, ``--max-nodes``, ``--timeout``) abort
 over-budget evaluations with exit code 3 (per file, in ``batch``).
 
+``batch`` is fault tolerant: a worker that dies mid-batch has its files
+retried (``--retries N``, default 2) and, as a last resort, re-evaluated
+serially in-process; ``--deadline S`` bounds the whole batch's wall clock,
+failing (not stalling on) files that run past it; ``--fail-fast`` stops at
+the first failed file and reports the rest as cancelled.  A batch whose
+files all succeeded but which needed fault recovery prints a ``# faults:``
+summary to stderr and exits with code 4 (degraded success) — distinct from
+0 (clean), 1 (per-file failures), 2 (I/O error) and 3 (limit breach).
+
 A first argument of ``explain`` or ``batch`` selects the subcommand; to
 *evaluate* a query literally so named, put ``--`` in front of it
 (``python -m repro.cli -- explain doc.xml``).
@@ -57,7 +67,7 @@ from typing import Optional, Sequence
 
 from .api import DEFAULT_ENGINE, default_session, engine_names
 from .engines.base import EvalLimits
-from .errors import ReproError, ResourceLimitExceeded, XMLSyntaxError
+from .errors import BatchAborted, ReproError, ResourceLimitExceeded, XMLSyntaxError
 from .parallel import BACKENDS
 from .xmlmodel.parser import parse_xml
 from .xmlmodel.serializer import serialize_node
@@ -155,6 +165,13 @@ def _positive_int(text: str) -> int:
     return value
 
 
+def _nonnegative_int(text: str) -> int:
+    value = int(text)
+    if value < 0:
+        raise argparse.ArgumentTypeError(f"must be at least 0 (got {value})")
+    return value
+
+
 def build_batch_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro-xpath batch",
@@ -204,6 +221,22 @@ def build_batch_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--timeout", type=float, default=None, metavar="SECONDS",
         help="per-file wall-clock budget",
+    )
+    parser.add_argument(
+        "--retries", type=_nonnegative_int, default=None, metavar="N",
+        help="resubmit a chunk lost to a dead worker up to N times before "
+        "degrading it to serial in-process evaluation (default: 2)",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole batch: files still running at "
+        "the deadline fail individually with a limit error (exit code 3) "
+        "instead of stalling the batch",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop after the first failed file; remaining files are "
+        "reported as cancelled",
     )
     return parser
 
@@ -356,6 +389,7 @@ def _run_batch(argv: Sequence[str]) -> int:
 
     results = {}
     limit_breached = False
+    degraded = False
     if sources:
         collection = session.stream_collection(sources, names=names)
         # --jobs/--backend imply parallel; with neither, REPRO_PARALLEL_DEFAULT
@@ -369,16 +403,27 @@ def _run_batch(argv: Sequence[str]) -> int:
             stream=True if args.stream else None,
             max_workers=args.jobs,
             backend=args.backend,
+            deadline=args.deadline,
+            fail_fast=args.fail_fast,
+            retries=args.retries,
         )
+        degraded = batch.failure_report is not None
         for result in batch:
             if not result.ok:
                 limit_breached |= isinstance(result.error, ResourceLimitExceeded)
-                prefix = "parse error" if isinstance(result.error, XMLSyntaxError) else "error"
+                if isinstance(result.error, XMLSyntaxError):
+                    prefix = "parse error"
+                elif isinstance(result.error, BatchAborted):
+                    prefix = "cancelled"
+                else:
+                    prefix = "error"
                 failures[result.name] = f"{prefix}: {result.error}"
             elif result.matches is not None:
                 results[result.name] = f"{len(result.matches)} node(s)"
             else:
                 results[result.name] = to_string(result.value)
+        if degraded:
+            print(f"# faults: {batch.failure_report.summary()}", file=sys.stderr)
 
     for path in args.files:
         if path in failures:
@@ -387,7 +432,7 @@ def _run_batch(argv: Sequence[str]) -> int:
             print(f"{path}\t{results[path]}")
     if failures:
         return 3 if limit_breached else 1
-    return 0
+    return 4 if degraded else 0
 
 
 def _print_value(value, *, as_xml: bool) -> None:

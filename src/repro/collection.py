@@ -44,13 +44,17 @@ Typical usage::
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
 
 from .errors import ReproError
 from .parallel import (
     DocumentOutcome,
+    FailureReport,
     ParallelExecutor,
+    RetryPolicy,
+    _aborted_outcome,
     evaluate_document,
     evaluate_source,
     resolve_executor,
@@ -135,6 +139,7 @@ class BatchRun(list):
         backend: Optional[str] = None,
         workers: Optional[int] = None,
         streamed: Optional[bool] = None,
+        failure_report: Optional[FailureReport] = None,
     ):
         super().__init__(results)
         self.plan = plan
@@ -148,11 +153,22 @@ class BatchRun(list):
         #: single-pass streaming backend, ``False`` for its tree fallback,
         #: ``None`` for ordinary (pre-parsed) collections.
         self.streamed = streamed
+        #: The batch's :class:`~repro.parallel.FailureReport` when fault
+        #: recovery had to step in (retries, degradation, hung workers,
+        #: deadline cancellations); ``None`` for a clean run.  A batch can
+        #: be *degraded-but-ok*: every document succeeded, yet a report is
+        #: attached because some chunks needed recovery.
+        self.failure_report = failure_report
 
     @property
     def ok(self) -> bool:
         """True when every document evaluated without error."""
         return all(result.ok for result in self)
+
+    @property
+    def degraded(self) -> bool:
+        """True when fault recovery stepped in (even if every result is ok)."""
+        return self.failure_report is not None
 
     @property
     def report(self) -> PlanReport:
@@ -162,6 +178,29 @@ class BatchRun(list):
             fragment=self.plan.fragment_name,
             cache_hit=self.cache_hit,
         )
+
+    def explain(self) -> str:
+        """Render the batch's plan decision, outcome tally, and — when
+        fault recovery stepped in — the per-chunk fates and backend
+        transitions of the :attr:`failure_report`."""
+        from .session import render_explanation  # local import (cycle)
+
+        lines = [render_explanation(self.plan, cache_hit=self.cache_hit)]
+        where = (
+            f"{self.backend} x {self.workers}" if self.backend else "serial"
+        )
+        if self.streamed is not None:
+            where += ", streamed" if self.streamed else ", tree"
+        lines.append(f"batch:      {len(self)} document(s) [{where}]")
+        failed = sum(1 for result in self if not result.ok)
+        lines.append(
+            f"outcomes:   {len(self) - failed} ok, {failed} failed"
+        )
+        if self.failure_report is not None:
+            lines.append(f"faults:     {self.failure_report.summary()}")
+            for fate in self.failure_report.fates:
+                lines.append(f"            {fate.describe()}")
+        return "\n".join(lines)
 
 
 class MultiQueryRun(list):
@@ -278,6 +317,9 @@ class Collection:
         parallel: Union[None, bool, ParallelExecutor] = None,
         max_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        deadline: Optional[float] = None,
+        fail_fast: bool = False,
+        retries: Union[None, int, RetryPolicy] = None,
     ) -> BatchRun:
         """Evaluate one node-set query over every document.
 
@@ -294,10 +336,21 @@ class Collection:
         :class:`~repro.parallel.ParallelExecutor`.  Results, ordering,
         per-document failures and session statistics are identical to the
         serial path.
+
+        Fault tolerance: ``deadline`` (seconds, wall clock for the whole
+        batch) tightens every document's timeout to the time remaining and
+        converts hangs into per-document ``batch_deadline`` limit errors;
+        ``fail_fast=True`` stops evaluating after the first failed document
+        (the rest carry :class:`~repro.errors.BatchAborted`); ``retries``
+        — an attempt count or a :class:`~repro.parallel.RetryPolicy` —
+        overrides the executor's worker-loss recovery policy.  A batch that
+        needed recovery attaches a :class:`~repro.parallel.FailureReport`
+        as :attr:`BatchRun.failure_report`.
         """
         return self._run_batch(
             query, engine, variables, limits, select_nodes=True,
             parallel=parallel, max_workers=max_workers, backend=backend,
+            deadline=deadline, fail_fast=fail_fast, retries=retries,
         )
 
     def evaluate(
@@ -310,11 +363,16 @@ class Collection:
         parallel: Union[None, bool, ParallelExecutor] = None,
         max_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        deadline: Optional[float] = None,
+        fail_fast: bool = False,
+        retries: Union[None, int, RetryPolicy] = None,
     ) -> BatchRun:
-        """Evaluate one query of any result type over every document."""
+        """Evaluate one query of any result type over every document
+        (same fault-tolerance keywords as :meth:`select`)."""
         return self._run_batch(
             query, engine, variables, limits, select_nodes=False,
             parallel=parallel, max_workers=max_workers, backend=backend,
+            deadline=deadline, fail_fast=fail_fast, retries=retries,
         )
 
     def select_many(
@@ -327,6 +385,9 @@ class Collection:
         parallel: Union[None, bool, ParallelExecutor] = None,
         max_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        deadline: Optional[float] = None,
+        fail_fast: bool = False,
+        retries: Union[None, int, RetryPolicy] = None,
     ) -> MultiQueryRun:
         """Evaluate several queries over the whole collection.
 
@@ -338,10 +399,11 @@ class Collection:
 
         With ``parallel=True`` (or an executor) each query's batch fans out
         over the worker pool; one pool is shared by all queries of the call.
+        ``deadline`` applies *per query batch*, not to the whole call.
         """
         return self._run_many(
             self.select, queries, engine, variables, limits,
-            parallel, max_workers, backend,
+            parallel, max_workers, backend, deadline, fail_fast, retries,
         )
 
     def evaluate_many(
@@ -354,11 +416,14 @@ class Collection:
         parallel: Union[None, bool, ParallelExecutor] = None,
         max_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        deadline: Optional[float] = None,
+        fail_fast: bool = False,
+        retries: Union[None, int, RetryPolicy] = None,
     ) -> MultiQueryRun:
         """Like :meth:`select_many`, for queries of any result type."""
         return self._run_many(
             self.evaluate, queries, engine, variables, limits,
-            parallel, max_workers, backend,
+            parallel, max_workers, backend, deadline, fail_fast, retries,
         )
 
     # ------------------------------------------------------------------
@@ -367,6 +432,7 @@ class Collection:
     def _run_many(
         self, run_one, queries, engine, variables, limits,
         parallel, max_workers, backend,
+        deadline=None, fail_fast=False, retries=None,
     ) -> MultiQueryRun:
         """Shared select_many/evaluate_many scaffolding: resolve the
         executor once so all queries share one pool, close it if ephemeral."""
@@ -378,6 +444,7 @@ class Collection:
                 run_one(
                     query, engine=engine, variables=variables, limits=limits,
                     parallel=executor if executor is not None else False,
+                    deadline=deadline, fail_fast=fail_fast, retries=retries,
                 )
                 for query in queries
             )
@@ -395,29 +462,43 @@ class Collection:
         parallel: Union[None, bool, ParallelExecutor] = False,
         max_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        deadline: Optional[float] = None,
+        fail_fast: bool = False,
+        retries: Union[None, int, RetryPolicy] = None,
     ) -> BatchRun:
         session = self.session
         merged = session._merged(variables)
         plan, cache_hit = session._plan(query, engine, merged)
         effective_limits = limits if limits is not None else session.limits
+        deadline_epoch = time.time() + deadline if deadline is not None else None
         executor, ephemeral = resolve_executor(
             parallel, max_workers=max_workers, backend=backend
         )
         if executor is None:
             runner = session.engine(plan.engine_name)
-            outcomes = [
-                evaluate_document(
+            outcomes = []
+            aborted = False
+            for index, document in enumerate(self._documents):
+                if aborted:
+                    outcomes.append(_aborted_outcome(index))
+                    continue
+                outcome = evaluate_document(
                     runner, plan, document, index, merged or None,
                     effective_limits, select_nodes=select_nodes,
+                    deadline_epoch=deadline_epoch,
                 )
-                for index, document in enumerate(self._documents)
-            ]
+                outcomes.append(outcome)
+                if fail_fast and outcome.error is not None:
+                    aborted = True
             results = BatchRun(plan=plan, cache_hit=cache_hit)
         else:
+            retry = RetryPolicy.coerce(retries) if retries is not None else None
             try:
-                outcomes = executor.run_batch(
+                outcomes, failure_report = executor.run_batch(
                     self, plan, variables=merged or None, limits=effective_limits,
                     select_nodes=select_nodes, session=session,
+                    retry=retry, deadline_epoch=deadline_epoch,
+                    fail_fast=fail_fast,
                 )
             finally:
                 if ephemeral:
@@ -425,7 +506,10 @@ class Collection:
             results = BatchRun(
                 plan=plan, cache_hit=cache_hit,
                 backend=executor.backend, workers=executor.max_workers,
+                failure_report=failure_report,
             )
+            if failure_report is not None:
+                session.stats.record_faults(failure_report)
         for outcome in outcomes:
             results.append(self._fold_outcome(outcome, plan, session))
         return results
@@ -556,6 +640,9 @@ class SourceCollection:
         parallel: Union[None, bool, ParallelExecutor] = None,
         max_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        deadline: Optional[float] = None,
+        fail_fast: bool = False,
+        retries: Union[None, int, RetryPolicy] = None,
     ) -> BatchRun:
         """Evaluate one node-set query over every source.
 
@@ -564,11 +651,15 @@ class SourceCollection:
         prefers the single-pass backend for streamable plans (with
         automatic tree fallback otherwise); ``stream=False`` forces the
         parse-evaluate-drop path.  Results carry
-        :attr:`BatchResult.matches` in collection order.
+        :attr:`BatchResult.matches` in collection order.  ``deadline``,
+        ``fail_fast`` and ``retries`` behave exactly as on
+        :meth:`Collection.select` — the deadline also bounds the streaming
+        token loop.
         """
         return self._run_batch(
             query, engine, variables, limits, select_nodes=True, stream=stream,
             parallel=parallel, max_workers=max_workers, backend=backend,
+            deadline=deadline, fail_fast=fail_fast, retries=retries,
         )
 
     def evaluate(
@@ -582,12 +673,16 @@ class SourceCollection:
         parallel: Union[None, bool, ParallelExecutor] = None,
         max_workers: Optional[int] = None,
         backend: Optional[str] = None,
+        deadline: Optional[float] = None,
+        fail_fast: bool = False,
+        retries: Union[None, int, RetryPolicy] = None,
     ) -> BatchRun:
         """Evaluate one query of any result type over every source
         (node-set results arrive as matches, scalars as values)."""
         return self._run_batch(
             query, engine, variables, limits, select_nodes=False, stream=stream,
             parallel=parallel, max_workers=max_workers, backend=backend,
+            deadline=deadline, fail_fast=fail_fast, retries=retries,
         )
 
     # ------------------------------------------------------------------
@@ -605,6 +700,9 @@ class SourceCollection:
         parallel: Union[None, bool, ParallelExecutor],
         max_workers: Optional[int],
         backend: Optional[str],
+        deadline: Optional[float] = None,
+        fail_fast: bool = False,
+        retries: Union[None, int, RetryPolicy] = None,
     ) -> BatchRun:
         session = self.session
         merged = session._merged(variables)
@@ -612,26 +710,37 @@ class SourceCollection:
         effective_limits = limits if limits is not None else session.limits
         use_stream = stream if stream is not None else stream_by_default()
         streamed = bool(use_stream and plan.streamable)
+        deadline_epoch = time.time() + deadline if deadline is not None else None
         executor, ephemeral = resolve_executor(
             parallel, max_workers=max_workers, backend=backend
         )
         if executor is None:
-            outcomes = [
-                evaluate_source(
+            outcomes = []
+            aborted = False
+            for index, source in enumerate(self._sources):
+                if aborted:
+                    outcomes.append(_aborted_outcome(index))
+                    continue
+                outcome = evaluate_source(
                     lambda: session.engine(plan.engine_name),
                     plan, source, index, merged or None, effective_limits,
                     select_nodes=select_nodes, use_stream=use_stream,
                     strip_whitespace=self.strip_whitespace,
+                    deadline_epoch=deadline_epoch,
                 )
-                for index, source in enumerate(self._sources)
-            ]
+                outcomes.append(outcome)
+                if fail_fast and outcome.error is not None:
+                    aborted = True
             results = BatchRun(plan=plan, cache_hit=cache_hit, streamed=streamed)
         else:
+            retry = RetryPolicy.coerce(retries) if retries is not None else None
             try:
-                outcomes = executor.run_source_batch(
+                outcomes, failure_report = executor.run_source_batch(
                     self, plan, variables=merged or None, limits=effective_limits,
                     select_nodes=select_nodes, use_stream=use_stream,
                     session=session,
+                    retry=retry, deadline_epoch=deadline_epoch,
+                    fail_fast=fail_fast,
                 )
             finally:
                 if ephemeral:
@@ -639,7 +748,10 @@ class SourceCollection:
             results = BatchRun(
                 plan=plan, cache_hit=cache_hit, streamed=streamed,
                 backend=executor.backend, workers=executor.max_workers,
+                failure_report=failure_report,
             )
+            if failure_report is not None:
+                session.stats.record_faults(failure_report)
         engine_label = "streaming" if streamed else plan.engine_name
         for outcome in outcomes:
             results.append(self._fold_outcome(outcome, engine_label, session))

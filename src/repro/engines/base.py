@@ -18,7 +18,7 @@ an exponential ``naive``-engine query safe to run under a budget.
 from __future__ import annotations
 
 import time
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Mapping, Optional, Union
 
 from typing import TYPE_CHECKING
@@ -76,6 +76,21 @@ class EvalLimits:
     def guard(self) -> Optional["LimitGuard"]:
         """A fresh per-evaluation guard, or ``None`` when unlimited."""
         return None if self.unlimited else LimitGuard(self)
+
+    def with_remaining(self, seconds: float) -> "EvalLimits":
+        """These limits tightened to at most ``seconds`` of wall clock.
+
+        The batch deadline-propagation hook: a batch-level deadline is
+        converted, per document, into the smaller of the caller's
+        ``timeout_seconds`` and the time remaining until the deadline, so a
+        document started late in the batch cannot run past the batch's
+        budget.  Never *loosens* an existing timeout.
+        """
+        if seconds < 0:
+            seconds = 0.0
+        if self.timeout_seconds is not None and self.timeout_seconds <= seconds:
+            return self
+        return replace(self, timeout_seconds=seconds)
 
     def describe(self) -> str:
         """Human-readable rendering used by ``QueryResult.explain()``."""

@@ -28,7 +28,21 @@ def _restore(cls, args, attributes):
 
 
 class ReproError(Exception):
-    """Base class of all exceptions raised by this library."""
+    """Base class of all exceptions raised by this library.
+
+    Instances compare by *value* — same concrete type, same ``args``, same
+    instance attributes — rather than by identity, so a pickled error that
+    travelled back from a worker process compares equal to the error the
+    worker raised, and fault reports can be asserted exactly in tests.
+    """
+
+    def __eq__(self, other) -> bool:
+        if type(other) is not type(self):
+            return NotImplemented
+        return self.args == other.args and self.__dict__ == other.__dict__
+
+    def __hash__(self) -> int:
+        return hash((type(self), self.args))
 
 
 class XMLSyntaxError(ReproError):
@@ -123,6 +137,70 @@ class ResourceLimitExceeded(XPathEvaluationError):
                 {"limit": self.limit, "limits": self.limits, "stats": self.stats},
             ),
         )
+
+
+class UnexpectedEvaluationError(XPathEvaluationError):
+    """A non-library exception escaped an engine during a batch evaluation.
+
+    The batch paths isolate failures per document; an unexpected exception
+    (an engine bug, an injected fault) is wrapped into this class so the
+    serial, thread and process paths report the identical, picklable error
+    instead of aborting the batch — or worse, aborting it on some paths
+    only.
+
+    Attributes
+    ----------
+    original_type:
+        Class name of the wrapped exception (the exception object itself
+        may not be picklable, so only its identity travels).
+    """
+
+    def __init__(self, message: str, *, original_type: str | None = None):
+        self.original_type = original_type
+        super().__init__(message)
+
+    @classmethod
+    def wrap(cls, error: BaseException) -> "UnexpectedEvaluationError":
+        return cls(
+            f"unexpected {type(error).__name__} during evaluation: {error}",
+            original_type=type(error).__name__,
+        )
+
+    def __reduce__(self):
+        return (
+            _restore,
+            (type(self), self.args, {"original_type": self.original_type}),
+        )
+
+
+class WorkerLostError(XPathEvaluationError):
+    """The worker evaluating this document's chunk was lost and not retried.
+
+    Under ``fail_fast`` batch semantics a lost chunk is not resubmitted;
+    its documents each carry this error.  (With retries enabled, worker
+    loss is recovered transparently and recorded in the batch's
+    :class:`~repro.parallel.FailureReport` instead.)
+
+    Attributes
+    ----------
+    attempts:
+        Number of executor attempts consumed when the chunk was abandoned.
+    """
+
+    def __init__(self, message: str, *, attempts: int = 1):
+        self.attempts = attempts
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (_restore, (type(self), self.args, {"attempts": self.attempts}))
+
+
+class BatchAborted(XPathEvaluationError):
+    """A batch entry cancelled by ``fail_fast`` after an earlier failure.
+
+    The document was never evaluated: an earlier entry failed and the batch
+    was asked to stop rather than complete the remainder.
+    """
 
 
 class FragmentError(XPathEvaluationError):

@@ -35,6 +35,22 @@ worker*, a breach fails only that document (carrying the partial stats),
 and every outcome — success or failure — is folded into the owning
 session's :class:`~repro.session.SessionStats` in collection order.
 
+The executor is additionally *fault tolerant*: a chunk lost to a dead
+worker (``BrokenProcessPool``), an unpicklable result, or an exception
+escaping the worker call is split and resubmitted with capped exponential
+backoff on a fresh pool (:class:`RetryPolicy`), degrading to in-parent
+serial evaluation when attempts run out — with every recovery step
+recorded in a :class:`FailureReport`.  A batch-level deadline
+(``deadline_epoch``, a ``time.time()`` instant so it compares across
+processes) tightens each document's ``EvalLimits`` timeout to the time
+remaining, bounds the parent's future waits, and converts a worker that
+hangs straight through the grace window into per-document
+``batch_deadline`` :class:`~repro.errors.ResourceLimitExceeded` failures
+instead of an unbounded stall.  ``fail_fast=True`` flips recovery off:
+the first failure cancels everything not yet started
+(:class:`~repro.errors.BatchAborted`).  Deterministic fault injection for
+all of this lives in :mod:`repro.faultinject`.
+
 Typical usage::
 
     from repro import api
@@ -53,12 +69,25 @@ from __future__ import annotations
 import os
 import threading
 import time
-from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
-from dataclasses import dataclass
+from concurrent.futures import (
+    BrokenExecutor,
+    ProcessPoolExecutor,
+    ThreadPoolExecutor,
+)
+from concurrent.futures import TimeoutError as FuturesTimeoutError
+from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Mapping, Optional, Sequence, Union
 
 from .engines.base import EvalLimits, EvaluationStats
-from .errors import ReproError, XPathEvaluationError
+from .errors import (
+    BatchAborted,
+    ReproError,
+    ResourceLimitExceeded,
+    UnexpectedEvaluationError,
+    WorkerLostError,
+    XPathEvaluationError,
+)
+from .faultinject import active_plan, inject
 from .plan import CompiledQuery, PlanCache
 from .streaming import StreamMatch, stream_matches
 from .xmlmodel.document import Document
@@ -126,6 +155,32 @@ class DocumentOutcome:
     elapsed: float = 0.0
 
 
+def _deadline_error() -> ResourceLimitExceeded:
+    return ResourceLimitExceeded(
+        "batch_deadline",
+        "batch deadline expired before this document completed",
+    )
+
+
+def _tighten_for_deadline(
+    limits: Optional[EvalLimits], deadline_epoch: Optional[float]
+) -> tuple[Optional[EvalLimits], bool]:
+    """Fold a batch deadline into per-document limits.
+
+    Returns ``(limits, expired)``: with the deadline already past, the
+    document must not start at all and ``expired`` is true.  The deadline
+    travels as a ``time.time()`` epoch because ``time.monotonic()`` is not
+    comparable across processes.
+    """
+    if deadline_epoch is None:
+        return limits, False
+    remaining = deadline_epoch - time.time()
+    if remaining <= 0:
+        return limits, True
+    base = limits if limits is not None else EvalLimits()
+    return base.with_remaining(remaining), False
+
+
 def evaluate_document(
     runner,
     plan: CompiledQuery,
@@ -135,21 +190,44 @@ def evaluate_document(
     limits: Optional[EvalLimits],
     *,
     select_nodes: bool,
+    deadline_epoch: Optional[float] = None,
+    attempt: int = 0,
 ) -> DocumentOutcome:
     """Evaluate one document and capture the outcome, never raising.
 
     The single evaluation step both the serial batch loop and every worker
     backend share, so their per-document semantics (error isolation, limit
-    enforcement, stats capture) cannot drift apart.
+    enforcement, stats capture) cannot drift apart.  That includes
+    *unexpected* exceptions: anything that is not a :class:`ReproError` is
+    wrapped into :class:`~repro.errors.UnexpectedEvaluationError` — the
+    serial, thread and process paths all report the identical error.
+
+    ``deadline_epoch`` (a ``time.time()`` epoch) tightens the limits to the
+    time remaining; a document whose turn comes after the deadline fails
+    immediately with a ``batch_deadline`` limit error instead of running.
     """
     started = time.perf_counter()
     try:
+        faults = active_plan()
+        if faults is not None:
+            faults.fire("document", indices=(index,), attempt=attempt)
+        limits, expired = _tighten_for_deadline(limits, deadline_epoch)
+        if expired:
+            return DocumentOutcome(
+                index, error=_deadline_error(), elapsed=time.perf_counter() - started
+            )
         value = runner.evaluate(plan, document, None, variables, limits=limits)
     except ReproError as error:
         return DocumentOutcome(
             index,
             error=error,
             stats=getattr(error, "stats", None),
+            elapsed=time.perf_counter() - started,
+        )
+    except Exception as error:
+        return DocumentOutcome(
+            index,
+            error=UnexpectedEvaluationError.wrap(error),
             elapsed=time.perf_counter() - started,
         )
     elapsed = time.perf_counter() - started
@@ -180,6 +258,8 @@ def evaluate_source(
     select_nodes: bool,
     use_stream: bool,
     strip_whitespace: bool,
+    deadline_epoch: Optional[float] = None,
+    attempt: int = 0,
 ) -> DocumentOutcome:
     """Evaluate one XML *source* and capture the outcome, never raising.
 
@@ -191,11 +271,26 @@ def evaluate_source(
     before the outcome returns, so a worker holds at most one tree at a
     time.  Node-set results travel as :class:`StreamMatch` records either
     way (there is no parent-side tree to map node orders back onto).
+
+    Deadline propagation and unexpected-exception isolation behave exactly
+    like :func:`evaluate_document`; parse failures (including injected
+    ones) already fail only their own entry.
     """
     started = time.perf_counter()
+    faults = active_plan()
     if use_stream and plan.streamable:
         stats = EvaluationStats()
         try:
+            if faults is not None:
+                faults.fire("parse", indices=(index,), attempt=attempt)
+                faults.fire("document", indices=(index,), attempt=attempt)
+            limits, expired = _tighten_for_deadline(limits, deadline_epoch)
+            if expired:
+                return DocumentOutcome(
+                    index,
+                    error=_deadline_error(),
+                    elapsed=time.perf_counter() - started,
+                )
             matched = list(
                 stream_matches(
                     plan,
@@ -212,23 +307,51 @@ def evaluate_source(
                 stats=getattr(error, "stats", None) or stats,
                 elapsed=time.perf_counter() - started,
             )
+        except Exception as error:
+            return DocumentOutcome(
+                index,
+                error=UnexpectedEvaluationError.wrap(error),
+                stats=stats,
+                elapsed=time.perf_counter() - started,
+            )
         return DocumentOutcome(
             index, matches=matched, stats=stats, elapsed=time.perf_counter() - started
         )
     try:
+        if faults is not None:
+            faults.fire("parse", indices=(index,), attempt=attempt)
         document = parse_xml(source, strip_whitespace=strip_whitespace)
     except ReproError as error:
         return DocumentOutcome(
             index, error=error, elapsed=time.perf_counter() - started
         )
+    except Exception as error:
+        return DocumentOutcome(
+            index,
+            error=UnexpectedEvaluationError.wrap(error),
+            elapsed=time.perf_counter() - started,
+        )
     runner = engine_factory()
     try:
+        if faults is not None:
+            faults.fire("document", indices=(index,), attempt=attempt)
+        limits, expired = _tighten_for_deadline(limits, deadline_epoch)
+        if expired:
+            return DocumentOutcome(
+                index, error=_deadline_error(), elapsed=time.perf_counter() - started
+            )
         value = runner.evaluate(plan, document, None, variables, limits=limits)
     except ReproError as error:
         return DocumentOutcome(
             index,
             error=error,
             stats=getattr(error, "stats", None),
+            elapsed=time.perf_counter() - started,
+        )
+    except Exception as error:
+        return DocumentOutcome(
+            index,
+            error=UnexpectedEvaluationError.wrap(error),
             elapsed=time.perf_counter() - started,
         )
     elapsed = time.perf_counter() - started
@@ -244,6 +367,156 @@ def evaluate_source(
     else:
         outcome.value = value
     return outcome
+
+
+# ----------------------------------------------------------------------
+# Fault tolerance: retry policy and failure reporting
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How the executor responds to losing a whole worker chunk.
+
+    A *chunk loss* is an infrastructure failure — a killed worker process
+    (``BrokenProcessPool``), a result that failed to pickle, an exception
+    escaping the worker call itself — as opposed to a per-document error,
+    which is always captured in its own outcome and never retried.
+
+    Lost chunks are resubmitted on a fresh pool with capped exponential
+    backoff, split in half each round so a single poisonous document is
+    bisected away from its innocent neighbours; after ``max_attempts``
+    pool attempts the stragglers degrade to in-parent serial evaluation,
+    which cannot lose a worker.
+    """
+
+    #: Pool attempts per chunk (1 = no retries) before degrading to serial.
+    max_attempts: int = 3
+    #: First backoff delay; doubles each round.
+    backoff_base: float = 0.05
+    #: Ceiling on the backoff delay.
+    backoff_cap: float = 1.0
+    #: Halve failed chunks on resubmission (bisects poisonous documents).
+    split_chunks: bool = True
+
+    def __post_init__(self):
+        if self.max_attempts < 1:
+            raise ValueError("max_attempts must be at least 1")
+
+    def backoff(self, attempt: int) -> float:
+        """Delay before resubmission round ``attempt`` (1-based)."""
+        return min(self.backoff_base * (2 ** (attempt - 1)), self.backoff_cap)
+
+    @classmethod
+    def coerce(cls, value: Union[None, int, "RetryPolicy"]) -> "RetryPolicy":
+        """Accept the batch entry points' ``retries`` argument: ``None``
+        (defaults), an int (number of *retries*, so ``0`` disables them),
+        or a full policy."""
+        if value is None:
+            return cls()
+        if isinstance(value, cls):
+            return value
+        if isinstance(value, int) and not isinstance(value, bool):
+            return cls(max_attempts=value + 1)
+        raise ValueError(
+            f"retries must be None, an int or a RetryPolicy (got {value!r})"
+        )
+
+
+@dataclass(frozen=True)
+class ChunkFate:
+    """One abnormal event (or recovery) in a batch's chunk schedule."""
+
+    #: Document indices of the chunk.
+    indices: tuple[int, ...]
+    #: Executor attempt the event happened on (0 = first submission).
+    attempt: int
+    #: Backend the chunk ran on.
+    backend: str
+    #: ``"lost"`` (worker/chunk failure), ``"hung"`` (blew through the
+    #: deadline grace), ``"deadline"`` (deadline expired before resolution),
+    #: ``"cancelled"`` (fail_fast), ``"degraded"`` (in-parent fallback),
+    #: or ``"ok"`` (a successful retry).
+    outcome: str
+    #: Short description of the triggering error, when there was one.
+    error: Optional[str] = None
+
+    def describe(self) -> str:
+        detail = f" — {self.error}" if self.error else ""
+        return (
+            f"attempt {self.attempt} [{self.backend}] "
+            f"docs {list(self.indices)}: {self.outcome}{detail}"
+        )
+
+
+@dataclass
+class FailureReport:
+    """The retry/degradation chain of one batch (``BatchRun.failure_report``).
+
+    Built by the executor only when something abnormal happened; a clean
+    batch carries ``failure_report=None``.  Picklable and value-comparable,
+    so fault-injection tests can assert exact recovery chains.
+    """
+
+    #: Abnormal chunk events, in the order they were observed.
+    fates: list = field(default_factory=list)
+    #: Human-readable schedule changes (retry rounds, degradation).
+    backend_transitions: list = field(default_factory=list)
+
+    @property
+    def worker_failures(self) -> int:
+        """Chunks lost to worker/infrastructure failure."""
+        return sum(1 for fate in self.fates if fate.outcome == "lost")
+
+    @property
+    def retries(self) -> int:
+        """Chunk resubmissions performed (successful or not)."""
+        return sum(
+            1 for fate in self.fates if fate.attempt > 0 and fate.outcome != "degraded"
+        )
+
+    @property
+    def degraded_chunks(self) -> int:
+        """Chunks that fell back to in-parent serial evaluation."""
+        return sum(1 for fate in self.fates if fate.outcome == "degraded")
+
+    @property
+    def hung_chunks(self) -> int:
+        """Chunks whose workers blew through the deadline grace."""
+        return sum(1 for fate in self.fates if fate.outcome == "hung")
+
+    def summary(self) -> str:
+        parts = [
+            f"{self.worker_failures} worker failure(s)",
+            f"{self.retries} retried chunk(s)",
+            f"{self.degraded_chunks} degraded",
+        ]
+        if self.hung_chunks:
+            parts.append(f"{self.hung_chunks} hung")
+        if self.backend_transitions:
+            parts.append(f"transitions: {', '.join(self.backend_transitions)}")
+        return ", ".join(parts)
+
+    def describe(self) -> str:
+        lines = [self.summary()]
+        lines.extend(fate.describe() for fate in self.fates)
+        return "\n".join(lines)
+
+
+def _split_chunk(chunk: range) -> list[range]:
+    if len(chunk) <= 1:
+        return [chunk]
+    middle = len(chunk) // 2
+    return [chunk[:middle], chunk[middle:]]
+
+
+def _deadline_outcome(index: int) -> DocumentOutcome:
+    return DocumentOutcome(index, error=_deadline_error())
+
+
+def _aborted_outcome(index: int) -> DocumentOutcome:
+    return DocumentOutcome(
+        index,
+        error=BatchAborted("batch entry cancelled by fail_fast after an earlier failure"),
+    )
 
 
 # ----------------------------------------------------------------------
@@ -289,19 +562,42 @@ def _process_chunk(
     variables: Optional[Mapping[str, XPathValue]],
     limits: Optional[EvalLimits],
     select_nodes: bool,
+    deadline_epoch: Optional[float] = None,
+    attempt: int = 0,
+    fault_plan=None,
 ) -> list[DocumentOutcome]:
-    """Worker-process entry point: evaluate one chunk on a private engine."""
+    """Worker-process entry point: evaluate one chunk on a private engine.
+
+    ``fault_plan`` is the parent's active :class:`~repro.faultinject.FaultPlan`
+    (injected plans do not cross process boundaries by themselves); it is
+    reinstalled here so chunk- and document-site faults fire in the worker.
+    """
     from .session import ENGINE_CLASSES  # deferred: workers import lazily
 
-    plan = _worker_plan(spec, variables)
-    runner = ENGINE_CLASSES[plan.engine_name]()
-    return [
-        evaluate_document(
-            runner, plan, document, index, variables, limits,
-            select_nodes=select_nodes,
-        )
-        for index, document in chunk
-    ]
+    with inject(fault_plan):
+        faults = active_plan()
+        indices = tuple(index for index, _ in chunk)
+        if faults is not None:
+            faults.fire(
+                "chunk", indices=indices, attempt=attempt, process_worker=True
+            )
+        plan = _worker_plan(spec, variables)
+        runner = ENGINE_CLASSES[plan.engine_name]()
+        outcomes = [
+            evaluate_document(
+                runner, plan, document, index, variables, limits,
+                select_nodes=select_nodes,
+                deadline_epoch=deadline_epoch, attempt=attempt,
+            )
+            for index, document in chunk
+        ]
+        if faults is not None and faults.match(
+            "chunk", action="corrupt", indices=indices, attempt=attempt
+        ):
+            # Deliberately unpicklable: the result send fails, the parent
+            # sees the chunk as lost, and the retry machinery takes over.
+            return lambda: outcomes  # type: ignore[return-value]
+        return outcomes
 
 
 def _process_source_chunk(
@@ -312,28 +608,44 @@ def _process_source_chunk(
     select_nodes: bool,
     use_stream: bool,
     strip_whitespace: bool,
+    deadline_epoch: Optional[float] = None,
+    attempt: int = 0,
+    fault_plan=None,
 ) -> list[DocumentOutcome]:
     """Worker-process entry point for source batches: sources travel as
     plain strings (far cheaper on the wire than pickled trees), and the
     worker never holds more than one tree — or zero, when streaming."""
     from .session import ENGINE_CLASSES  # deferred: workers import lazily
 
-    plan = _worker_plan(spec, variables)
-    runner_slot: list = []
+    with inject(fault_plan):
+        faults = active_plan()
+        indices = tuple(index for index, _ in chunk)
+        if faults is not None:
+            faults.fire(
+                "chunk", indices=indices, attempt=attempt, process_worker=True
+            )
+        plan = _worker_plan(spec, variables)
+        runner_slot: list = []
 
-    def engine_factory():
-        if not runner_slot:
-            runner_slot.append(ENGINE_CLASSES[plan.engine_name]())
-        return runner_slot[0]
+        def engine_factory():
+            if not runner_slot:
+                runner_slot.append(ENGINE_CLASSES[plan.engine_name]())
+            return runner_slot[0]
 
-    return [
-        evaluate_source(
-            engine_factory, plan, source, index, variables, limits,
-            select_nodes=select_nodes, use_stream=use_stream,
-            strip_whitespace=strip_whitespace,
-        )
-        for index, source in chunk
-    ]
+        outcomes = [
+            evaluate_source(
+                engine_factory, plan, source, index, variables, limits,
+                select_nodes=select_nodes, use_stream=use_stream,
+                strip_whitespace=strip_whitespace,
+                deadline_epoch=deadline_epoch, attempt=attempt,
+            )
+            for index, source in chunk
+        ]
+        if faults is not None and faults.match(
+            "chunk", action="corrupt", indices=indices, attempt=attempt
+        ):
+            return lambda: outcomes  # type: ignore[return-value]
+        return outcomes
 
 
 def _ensure_process_portable(
@@ -366,11 +678,20 @@ class ParallelExecutor:
         Documents per worker task.  Defaults to an even split of the batch
         over the workers (one task per worker), which minimises shipping
         overhead; set it smaller for skewed per-document costs.
+    retry:
+        Default :class:`RetryPolicy` for chunk-loss recovery (overridable
+        per batch via the collection entry points' ``retries`` argument).
 
     The underlying pool is created lazily on first use and reused across
     batches; :meth:`close` (or the context-manager form) releases it.
+    A pool that loses a worker (or holds a hung one) is abandoned and
+    lazily replaced — the executor object stays usable throughout.
     Executors are thread-safe and may serve several collections at once.
     """
+
+    #: Extra wait beyond the batch deadline before declaring a worker hung:
+    #: cooperative per-document timeouts need a moment to fire and report.
+    DEADLINE_GRACE = 0.25
 
     def __init__(
         self,
@@ -378,6 +699,7 @@ class ParallelExecutor:
         backend: str = "thread",
         max_workers: Optional[int] = None,
         chunk_size: Optional[int] = None,
+        retry: Union[None, int, RetryPolicy] = None,
     ):
         if backend not in BACKENDS:
             raise ValueError(
@@ -390,6 +712,7 @@ class ParallelExecutor:
         self.backend = backend
         self.max_workers = max_workers if max_workers is not None else default_max_workers()
         self.chunk_size = chunk_size
+        self.retry = RetryPolicy.coerce(retry)
         self._pool = None
         self._lock = threading.Lock()
 
@@ -416,6 +739,25 @@ class ParallelExecutor:
         if pool is not None:
             pool.shutdown(wait=True)
 
+    def _abandon_pool(self) -> None:
+        """Drop a pool we no longer trust — broken, or holding a hung
+        worker — without waiting on it; the next submission builds a fresh
+        one.  Pending work is cancelled where possible.  Process workers
+        are terminated outright: ``concurrent.futures`` joins surviving
+        workers at interpreter exit, so a hung process left behind would
+        hold the whole program hostage until the hang ends.  (Hung
+        *threads* cannot be killed — the thread backend relies on the
+        deadline-tightened EvalLimits interrupting cooperative work.)"""
+        with self._lock:
+            pool, self._pool = self._pool, None
+        if pool is not None:
+            # Snapshot the workers first: shutdown() drops the _processes
+            # reference even with wait=False.
+            processes = list((getattr(pool, "_processes", None) or {}).values())
+            pool.shutdown(wait=False, cancel_futures=True)
+            for process in processes:
+                process.terminate()
+
     def __enter__(self) -> "ParallelExecutor":
         return self
 
@@ -434,14 +776,35 @@ class ParallelExecutor:
         limits: Optional[EvalLimits],
         select_nodes: bool,
         session: "XPathSession",
-    ) -> list[DocumentOutcome]:
+        retry: Optional[RetryPolicy] = None,
+        deadline_epoch: Optional[float] = None,
+        fail_fast: bool = False,
+    ) -> tuple[list[DocumentOutcome], Optional[FailureReport]]:
         """Evaluate ``plan`` over every document, in parallel, in order.
 
-        Returns one :class:`DocumentOutcome` per document, in collection
-        order, with per-document failures captured exactly like the serial
-        path.  The caller (:meth:`Collection._run_batch`) folds the
-        outcomes into :class:`~repro.collection.BatchResult` objects and
-        the session statistics.
+        Returns ``(outcomes, failure_report)``: one
+        :class:`DocumentOutcome` per document, in collection order, with
+        per-document failures captured exactly like the serial path, plus a
+        :class:`FailureReport` when the batch needed fault recovery
+        (``None`` for a clean run).  The caller
+        (:meth:`Collection._run_batch`) folds the outcomes into
+        :class:`~repro.collection.BatchResult` objects and the session
+        statistics.
+
+        Fault semantics: a lost chunk (dead worker, unpicklable result) is
+        split and resubmitted per ``retry`` (default :attr:`retry`) on a
+        fresh pool, degrading to in-parent serial evaluation when pool
+        attempts run out — successful documents stay byte-identical to the
+        serial path because every backend shares :func:`evaluate_document`.
+        ``deadline_epoch`` bounds the whole batch: per-document limits are
+        tightened to the remaining time, future waits time out shortly
+        after the deadline, and a worker that blows through the grace is
+        declared hung — its documents (and any still-unresolved ones) fail
+        with ``batch_deadline`` limit errors instead of stalling the batch.
+        ``fail_fast`` disables retries and cancels unstarted chunks after
+        the first failure (cancelled entries carry
+        :class:`~repro.errors.BatchAborted`); chunks already in flight
+        still complete and report.
 
         Known wire cost of the process backend: every call ships its chunk
         documents to the workers, so a multi-query run over one collection
@@ -452,18 +815,14 @@ class ParallelExecutor:
         """
         documents = collection.documents
         if not documents:
-            return []
-        chunks = self._chunks(len(documents))
-        pool = self._ensure_pool()
+            return [], None
         if self.backend == "thread":
-            futures = [
-                pool.submit(
+            def submit(chunk: range, attempt: int):
+                return self._ensure_pool().submit(
                     self._thread_chunk,
                     session, plan, documents, chunk, variables, limits,
-                    select_nodes,
+                    select_nodes, deadline_epoch, attempt,
                 )
-                for chunk in chunks
-            ]
         else:
             _ensure_process_portable(variables)
             spec = _PlanSpec(
@@ -471,21 +830,33 @@ class ParallelExecutor:
                 engine_name=plan.engine_name,
                 plan=plan if plan.source is None else None,
             )
-            futures = [
-                pool.submit(
+            fault_plan = active_plan()
+
+            def submit(chunk: range, attempt: int):
+                return self._ensure_pool().submit(
                     _process_chunk,
                     spec,
                     [(index, documents[index]) for index in chunk],
                     variables, limits, select_nodes,
+                    deadline_epoch, attempt, fault_plan,
                 )
-                for chunk in chunks
+
+        def fallback(chunk: range, attempt: int) -> list[DocumentOutcome]:
+            runner = session.engine(plan.engine_name)
+            return [
+                evaluate_document(
+                    runner, plan, documents[index], index, variables, limits,
+                    select_nodes=select_nodes,
+                    deadline_epoch=deadline_epoch, attempt=attempt,
+                )
+                for index in chunk
             ]
-        # Chunks are contiguous, ascending index ranges; gathering in
-        # submission order restores collection order without a sort.
-        outcomes: list[DocumentOutcome] = []
-        for future in futures:
-            outcomes.extend(future.result())
-        return outcomes
+
+        return self._execute(
+            self._chunks(len(documents)), submit, fallback,
+            retry=retry if retry is not None else self.retry,
+            deadline_epoch=deadline_epoch, fail_fast=fail_fast,
+        )
 
     def run_source_batch(
         self,
@@ -497,29 +868,29 @@ class ParallelExecutor:
         select_nodes: bool,
         use_stream: bool,
         session: "XPathSession",
-    ) -> list[DocumentOutcome]:
+        retry: Optional[RetryPolicy] = None,
+        deadline_epoch: Optional[float] = None,
+        fail_fast: bool = False,
+    ) -> tuple[list[DocumentOutcome], Optional[FailureReport]]:
         """Evaluate ``plan`` over every XML source, in parallel, in order.
 
-        The source-batch twin of :meth:`run_batch`: each worker either
+        The source-batch twin of :meth:`run_batch` — identical fault,
+        retry, deadline and ``fail_fast`` semantics: each worker either
         streams its sources single-pass (streamable plan + ``use_stream``)
         or parses-evaluates-drops one tree at a time, so peak memory per
         worker is one tree at most — never the whole corpus.
         """
         sources = collection.sources
         if not sources:
-            return []
+            return [], None
         strip = collection.strip_whitespace
-        chunks = self._chunks(len(sources))
-        pool = self._ensure_pool()
         if self.backend == "thread":
-            futures = [
-                pool.submit(
+            def submit(chunk: range, attempt: int):
+                return self._ensure_pool().submit(
                     self._thread_source_chunk,
                     session, plan, sources, chunk, variables, limits,
-                    select_nodes, use_stream, strip,
+                    select_nodes, use_stream, strip, deadline_epoch, attempt,
                 )
-                for chunk in chunks
-            ]
         else:
             _ensure_process_portable(variables)
             spec = _PlanSpec(
@@ -527,19 +898,182 @@ class ParallelExecutor:
                 engine_name=plan.engine_name,
                 plan=plan if plan.source is None else None,
             )
-            futures = [
-                pool.submit(
+            fault_plan = active_plan()
+
+            def submit(chunk: range, attempt: int):
+                return self._ensure_pool().submit(
                     _process_source_chunk,
                     spec,
                     [(index, sources[index]) for index in chunk],
                     variables, limits, select_nodes, use_stream, strip,
+                    deadline_epoch, attempt, fault_plan,
                 )
-                for chunk in chunks
+
+        def fallback(chunk: range, attempt: int) -> list[DocumentOutcome]:
+            return [
+                evaluate_source(
+                    lambda: session.engine(plan.engine_name),
+                    plan, sources[index], index, variables, limits,
+                    select_nodes=select_nodes, use_stream=use_stream,
+                    strip_whitespace=strip,
+                    deadline_epoch=deadline_epoch, attempt=attempt,
+                )
+                for index in chunk
             ]
-        outcomes: list[DocumentOutcome] = []
-        for future in futures:
-            outcomes.extend(future.result())
-        return outcomes
+
+        return self._execute(
+            self._chunks(len(sources)), submit, fallback,
+            retry=retry if retry is not None else self.retry,
+            deadline_epoch=deadline_epoch, fail_fast=fail_fast,
+        )
+
+    # ------------------------------------------------------------------
+    # The fault-tolerant gather loop
+    # ------------------------------------------------------------------
+    def _execute(
+        self,
+        chunks: list[range],
+        submit,
+        fallback,
+        *,
+        retry: RetryPolicy,
+        deadline_epoch: Optional[float],
+        fail_fast: bool,
+    ) -> tuple[list[DocumentOutcome], Optional[FailureReport]]:
+        """Submit chunks, gather outcomes, recover from lost/hung workers.
+
+        The engine room behind both batch methods.  ``submit(chunk,
+        attempt)`` returns a future resolving to the chunk's outcomes;
+        ``fallback(chunk, attempt)`` evaluates a chunk in-parent (the
+        degradation path, which cannot lose a worker).  Chunks are
+        contiguous ascending ranges, so outcomes merge back into collection
+        order by index regardless of the retry schedule.
+        """
+        outcomes: dict[int, DocumentOutcome] = {}
+        report = FailureReport()
+
+        def settle(chunk, outs, attempt, outcome="ok", error=None):
+            for out in outs:
+                outcomes[out.index] = out
+            if outcome != "ok" or attempt > 0:
+                report.fates.append(
+                    ChunkFate(tuple(chunk), attempt, self.backend, outcome, error)
+                )
+
+        pending = list(chunks)
+        attempt = 0
+        while pending:
+            futures = [(chunk, submit(chunk, attempt)) for chunk in pending]
+            failed: list[range] = []
+            aborting = False      # fail_fast tripped: cancel the rest
+            deadline_over = False  # a worker hung: resolve the rest now
+            for chunk, future in futures:
+                if aborting or deadline_over:
+                    # Resolve without waiting: keep chunks that finished,
+                    # synthesise per-document outcomes for the rest.
+                    done = future.done() and not future.cancelled()
+                    future.cancel()
+                    if done:
+                        try:
+                            settle(chunk, future.result(timeout=0), attempt)
+                            continue
+                        except Exception:
+                            pass  # a lost finished chunk: fall through
+                    make = _aborted_outcome if aborting else _deadline_outcome
+                    settle(
+                        chunk, [make(index) for index in chunk], attempt,
+                        "cancelled" if aborting else "deadline",
+                    )
+                    continue
+                timeout = None
+                if deadline_epoch is not None:
+                    timeout = (
+                        max(0.0, deadline_epoch - time.time()) + self.DEADLINE_GRACE
+                    )
+                try:
+                    outs = future.result(timeout=timeout)
+                except FuturesTimeoutError:
+                    # The worker blew straight through the cooperative
+                    # timeout window — it is hung for real.  Convert its
+                    # documents to deadline failures and stop trusting the
+                    # pool (the hung worker is still squatting in it).
+                    self._abandon_pool()
+                    settle(
+                        chunk, [_deadline_outcome(index) for index in chunk],
+                        attempt, "hung",
+                    )
+                    deadline_over = True
+                except Exception as error:
+                    # The chunk itself was lost: a killed worker
+                    # (BrokenProcessPool poisons every sibling future of the
+                    # round — they all land here and are retried together),
+                    # an unpicklable result, or an exception escaping the
+                    # worker call.
+                    if isinstance(error, BrokenExecutor):
+                        self._abandon_pool()
+                    detail = f"{type(error).__name__}: {error}"
+                    if fail_fast:
+                        settle(
+                            chunk,
+                            [
+                                DocumentOutcome(
+                                    index,
+                                    error=WorkerLostError(
+                                        f"worker lost evaluating document {index} "
+                                        f"({detail})",
+                                        attempts=attempt + 1,
+                                    ),
+                                )
+                                for index in chunk
+                            ],
+                            attempt, "lost", detail,
+                        )
+                        aborting = True
+                    else:
+                        report.fates.append(
+                            ChunkFate(
+                                tuple(chunk), attempt, self.backend, "lost", detail
+                            )
+                        )
+                        failed.append(chunk)
+                else:
+                    settle(chunk, outs, attempt)
+                    if fail_fast and any(out.error is not None for out in outs):
+                        aborting = True
+            if deadline_over and failed:
+                # Chunks lost before the hang was detected: no time left to
+                # retry them.
+                for chunk in failed:
+                    settle(
+                        chunk, [_deadline_outcome(index) for index in chunk],
+                        attempt, "deadline",
+                    )
+                failed = []
+            if not failed:
+                break
+            attempt += 1
+            if attempt >= retry.max_attempts:
+                # Out of pool attempts: degrade the stragglers to in-parent
+                # serial evaluation, which cannot lose a worker.
+                report.backend_transitions.append(f"{self.backend}->serial")
+                for chunk in failed:
+                    settle(chunk, fallback(chunk, attempt), attempt, "degraded")
+                break
+            report.backend_transitions.append(f"{self.backend} retry {attempt}")
+            delay = retry.backoff(attempt)
+            if deadline_epoch is not None:
+                delay = min(delay, max(0.0, deadline_epoch - time.time()))
+            if delay > 0:
+                time.sleep(delay)
+            if retry.split_chunks:
+                pending = [
+                    half for chunk in failed for half in _split_chunk(chunk)
+                ]
+            else:
+                pending = failed
+        ordered = [outcomes[index] for index in sorted(outcomes)]
+        abnormal = bool(report.fates or report.backend_transitions)
+        return ordered, (report if abnormal else None)
 
     @staticmethod
     def _thread_source_chunk(
@@ -552,7 +1086,12 @@ class ParallelExecutor:
         select_nodes: bool,
         use_stream: bool,
         strip_whitespace: bool,
+        deadline_epoch: Optional[float] = None,
+        attempt: int = 0,
     ) -> list[DocumentOutcome]:
+        faults = active_plan()
+        if faults is not None:
+            faults.fire("chunk", indices=tuple(chunk), attempt=attempt)
         # The fallback engine comes from the session pool (per-thread), and
         # only materialises when some source actually needs the tree path.
         return [
@@ -561,6 +1100,7 @@ class ParallelExecutor:
                 plan, sources[index], index, variables, limits,
                 select_nodes=select_nodes, use_stream=use_stream,
                 strip_whitespace=strip_whitespace,
+                deadline_epoch=deadline_epoch, attempt=attempt,
             )
             for index in chunk
         ]
@@ -574,7 +1114,12 @@ class ParallelExecutor:
         variables: Optional[Mapping[str, XPathValue]],
         limits: Optional[EvalLimits],
         select_nodes: bool,
+        deadline_epoch: Optional[float] = None,
+        attempt: int = 0,
     ) -> list[DocumentOutcome]:
+        faults = active_plan()
+        if faults is not None:
+            faults.fire("chunk", indices=tuple(chunk), attempt=attempt)
         # session.engine() pools per (name, thread): each worker thread gets
         # its own instance, so concurrent chunks never share last_stats.
         runner = session.engine(plan.engine_name)
@@ -582,6 +1127,7 @@ class ParallelExecutor:
             evaluate_document(
                 runner, plan, documents[index], index, variables, limits,
                 select_nodes=select_nodes,
+                deadline_epoch=deadline_epoch, attempt=attempt,
             )
             for index in chunk
         ]

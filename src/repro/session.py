@@ -114,6 +114,14 @@ class SessionStats:
     total_seconds: float = 0.0
     total_work: int = 0
     engine_use: dict[str, int] = field(default_factory=dict)
+    #: Fault-tolerance aggregates, fed by batch
+    #: :class:`~repro.parallel.FailureReport` objects (see
+    #: :meth:`record_faults`): chunks lost to dead workers / corrupt result
+    #: wires, chunks recovered by resubmission, and chunks degraded to the
+    #: in-parent serial path.
+    worker_failures: int = 0
+    retries: int = 0
+    degraded_chunks: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -152,6 +160,15 @@ class SessionStats:
             limit_breach=isinstance(error, ResourceLimitExceeded),
         )
 
+    def record_faults(self, report) -> None:
+        """Fold a batch :class:`~repro.parallel.FailureReport` into the
+        fault aggregates (the per-document outcomes are recorded separately,
+        through :meth:`record` / :meth:`record_failure`, as always)."""
+        with self._lock:
+            self.worker_failures += report.worker_failures
+            self.retries += report.retries
+            self.degraded_chunks += report.degraded_chunks
+
     def as_dict(self) -> dict:
         with self._lock:  # a consistent snapshot, even mid-traffic
             return {
@@ -161,6 +178,9 @@ class SessionStats:
                 "total_seconds": self.total_seconds,
                 "total_work": self.total_work,
                 "engine_use": dict(self.engine_use),
+                "worker_failures": self.worker_failures,
+                "retries": self.retries,
+                "degraded_chunks": self.degraded_chunks,
             }
 
 

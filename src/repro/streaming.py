@@ -66,6 +66,7 @@ from .axes.nodetests import NodeTest
 from .axes.regex import Axis
 from .engines.base import EvalLimits, EvaluationStats
 from .errors import ResourceLimitExceeded, XMLSyntaxError, XPathEvaluationError
+from .faultinject import active_plan
 from .xmlmodel.lexer import XMLLexer, XMLTokenType
 from .xmlmodel.nodes import NodeType
 from .xpath.ast import (
@@ -488,6 +489,10 @@ class _StreamRun:
         self.guard = self.stats.guard
         self.limits = limits
         self.emitted = 0
+        #: Active fault-injection plan, consulted once per token event;
+        #: ``None`` (the overwhelmingly common case) keeps the loop's extra
+        #: cost to a single attribute test.
+        self.faults = active_plan()
         # Predicate evaluation shares the engines' function library; the
         # static context carries no document (id() is not streamable).
         self.library = FunctionLibrary(StaticContext(None, {}))
@@ -513,6 +518,17 @@ class _StreamRun:
         for token in XMLLexer(text).tokens():
             self.stats.bump("stream_events")
             self.stats.checkpoint()
+            if self.faults is not None:
+                # An injected token delay is an *uncooperative* stall; the
+                # unconditional deadline check right after it is what turns
+                # the stall into a limit error, proving the deadline bounds
+                # even code that never reaches a counter checkpoint.
+                self.faults.fire(
+                    "stream.token",
+                    indices=(self.stats.extras.get("stream_events", 0),),
+                )
+                if self.guard is not None:
+                    self.guard.check_deadline(self.stats)
             kind = token.kind
             if kind is XMLTokenType.EOF:
                 break

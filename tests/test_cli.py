@@ -235,3 +235,79 @@ class TestCliBatch:
     def test_batch_engine_flag(self, files, capsys):
         assert run(["batch", "//b", *files, "--engine", "corexpath"]) == 0
         assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+
+class TestCliBatchFaults:
+    """The batch subcommand under injected faults (ISSUE-6 satellite):
+    worker crashes, hangs and cancellations drive the exit codes —
+    4 = degraded success, 3 = limit breach, 1 = per-file failure."""
+
+    @pytest.fixture
+    def files(self, tmp_path):
+        sources = ["<a><b/><b/></a>", "<a/>", "<a><b>x</b></a>"]
+        paths = []
+        for index, source in enumerate(sources):
+            path = tmp_path / f"doc{index}.xml"
+            path.write_text(source, encoding="utf-8")
+            paths.append(str(path))
+        return paths
+
+    def test_recovered_crash_exits_4_with_fault_summary(
+        self, files, capsys, monkeypatch
+    ):
+        # The env spec is inherited by worker processes — no plumbing.
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "kill@chunk:index=0,max_attempt=1"
+        )
+        code = run(
+            ["batch", "//b", *files, "--jobs", "2", "--backend", "process",
+             "--retries", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 4  # every file succeeded, but recovery stepped in
+        lines = captured.out.strip().splitlines()
+        assert len(lines) == 3
+        assert lines[0].endswith("2 node(s)")
+        assert "# faults:" in captured.err
+
+    def test_mixed_parse_failure_and_limit_breach_exits_3(
+        self, files, tmp_path, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "kill@chunk:index=0,max_attempt=1"
+        )
+        bad = tmp_path / "bad.xml"
+        bad.write_text("<a><b>", encoding="utf-8")
+        code = run(
+            ["batch", "//b", files[0], str(bad), files[1], "--max-ops", "6",
+             "--jobs", "2", "--backend", "process", "--retries", "2"]
+        )
+        captured = capsys.readouterr()
+        assert code == 3  # limit breach outranks plain failure and degraded
+        assert "operation budget" in captured.err
+        assert "parse error" in captured.err
+
+    def test_deadline_converts_hang_to_limit_breach(
+        self, files, capsys, monkeypatch
+    ):
+        monkeypatch.setenv(
+            "REPRO_FAULT_PLAN", "hang@document:index=0,seconds=2.0"
+        )
+        code = run(
+            ["batch", "//b", *files, "--jobs", "2", "--backend", "process",
+             "--deadline", "0.4"]
+        )
+        captured = capsys.readouterr()
+        assert code == 3
+        assert "batch deadline" in captured.err
+
+    def test_fail_fast_reports_cancelled_files(self, files, capsys, monkeypatch):
+        monkeypatch.setenv("REPRO_FAULT_PLAN", "raise@document:index=0")
+        # Pin the serial path: parallel fail_fast lets in-flight chunks
+        # finish, so under REPRO_PARALLEL_DEFAULT=1 nothing gets cancelled.
+        monkeypatch.delenv("REPRO_PARALLEL_DEFAULT", raising=False)
+        code = run(["batch", "//b", *files, "--fail-fast"])
+        captured = capsys.readouterr()
+        assert code == 1
+        assert "cancelled" in captured.err
+        assert "InjectedFault" in captured.err
