@@ -13,10 +13,14 @@ OptMinContextEngine  MinContext + backward inner-path evaluation  §11
 
 The linear-time fragment engines (Core XPath, XPatterns) live in
 :mod:`repro.fragments` but are re-exported by :mod:`repro.api`.
+:class:`CompiledEngine` (:mod:`repro.engines.compiled`) lowers their set
+algebra one level further, to a linear array program over the flat
+document index, and falls back to a tree engine outside that fragment.
 """
 
 from .base import EvaluationStats, XPathEngine
 from .bottomup import BottomUpEngine
+from .compiled import ArrayProgram, CompiledEngine
 from .cvt import ContextValueTable, TableStore
 from .datapool import DataPoolEngine
 from .mincontext import MinContextEngine
@@ -26,7 +30,9 @@ from .relevance import compute_relevance
 from .topdown import TopDownEngine
 
 __all__ = [
+    "ArrayProgram",
     "BottomUpEngine",
+    "CompiledEngine",
     "ContextValueTable",
     "DataPoolEngine",
     "EvaluationStats",

@@ -60,6 +60,12 @@ class Classification:
     streamable: bool = False
     #: Why the query is not streamable (empty when it is).
     streaming_violations: tuple[str, ...] = ()
+    #: Whether the compiled array-program backend can lower the query (the
+    #: XPatterns fragment minus the id axis; see
+    #: :func:`repro.engines.compiled.analyze_compilability`).
+    compilable: bool = False
+    #: Why the query does not lower to an array program (empty when it does).
+    compile_violations: tuple[str, ...] = ()
 
 
 def classify(query) -> Classification:
@@ -90,6 +96,11 @@ def classify_normalized(expression: Expression) -> Classification:
         fragment = Fragment.FULL_XPATH
         engine = "optmincontext"
     streamability = analyze_streamability(expression)
+    # Deferred: the engines package imports this module's siblings at load
+    # time, so a module-level import here would be a cycle.
+    from ..engines.compiled import analyze_compilability
+
+    compilability = analyze_compilability(expression)
     return Classification(
         fragment=fragment,
         in_core_xpath=core,
@@ -100,6 +111,8 @@ def classify_normalized(expression: Expression) -> Classification:
         wadler_violations=tuple(wadler_violations(expression)),
         streamable=streamability.streamable,
         streaming_violations=streamability.violations,
+        compilable=compilability.compilable,
+        compile_violations=compilability.violations,
     )
 
 

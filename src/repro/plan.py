@@ -115,6 +115,10 @@ class CompiledQuery:
     _stream_automata: dict = field(
         default_factory=dict, repr=False, compare=False, hash=False
     )
+    #: Memoised array program (one-slot dict; see array_program()).
+    _array_programs: dict = field(
+        default_factory=dict, repr=False, compare=False, hash=False
+    )
 
     def __eq__(self, other: object) -> bool:
         return self is other
@@ -196,6 +200,23 @@ class CompiledQuery:
             automaton = StreamAutomaton(self.expression)
             self._stream_automata["automaton"] = automaton
         return automaton
+
+    def array_program(self):
+        """The plan's lowered :class:`~repro.engines.compiled.ArrayProgram`.
+
+        ``None`` when the plan is outside the compiled fragment (the
+        classification records why in ``compile_violations``); memoised
+        with the same benign one-slot race as :meth:`stream_automaton`.
+        """
+        if not self.classification.compilable:
+            return None
+        program = self._array_programs.get("program")
+        if program is None:
+            from .engines.compiled import lower_plan  # deferred: cycle-free
+
+            program = lower_plan(self)
+            self._array_programs["program"] = program
+        return program
 
     # ------------------------------------------------------------------
     # Convenience evaluation (delegates to the resolved engine)
@@ -304,6 +325,7 @@ def _retarget(plan: CompiledQuery, engine: str) -> CompiledQuery:
     # AST, so they carry over.
     retargeted._algebra_plans.update(plan._algebra_plans)
     retargeted._stream_automata.update(plan._stream_automata)
+    retargeted._array_programs.update(plan._array_programs)
     return retargeted
 
 

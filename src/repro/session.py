@@ -59,6 +59,7 @@ from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from .engines.base import EvalLimits, EvaluationStats, XPathEngine
 from .engines.bottomup import BottomUpEngine
+from .engines.compiled import CompiledEngine
 from .engines.datapool import DataPoolEngine
 from .engines.mincontext import MinContextEngine
 from .engines.naive import NaiveEngine
@@ -86,6 +87,7 @@ ENGINE_CLASSES: dict[str, type[XPathEngine]] = {
     OptMinContextEngine.name: OptMinContextEngine,
     CoreXPathEngine.name: CoreXPathEngine,
     XPatternsEngine.name: XPatternsEngine,
+    CompiledEngine.name: CompiledEngine,
 }
 
 QueryLike = Union[str, CompiledQuery, object]
@@ -298,6 +300,19 @@ def render_explanation(
             else "not a streamable location path"
         )
         lines.append(f"streaming:  no ({reason})")
+    if classification.compilable:
+        program = plan.array_program()
+        lines.append(f"compiled:   yes ({len(program)}-instruction array program)")
+        if plan.engine_name == CompiledEngine.name:
+            for program_line in program.render().splitlines():
+                lines.append(f"              {program_line}")
+    else:
+        reason = (
+            classification.compile_violations[0]
+            if classification.compile_violations
+            else "outside the compiled fragment"
+        )
+        lines.append(f"compiled:   no ({reason})")
     notes = []
     if plan.requested_engine == "auto":
         notes.append("resolved from 'auto'")

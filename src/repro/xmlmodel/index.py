@@ -42,13 +42,87 @@ build (lazy, once per document)        O(n)
 
 from __future__ import annotations
 
+from array import array
 from bisect import bisect_left, bisect_right
-from typing import TYPE_CHECKING, Iterable
+from typing import TYPE_CHECKING, Iterable, Sequence
 
 from .nodes import Node, NodeType
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
     from .document import Document
+
+_EMPTY_ORDERS: tuple[int, ...] = ()
+
+
+class IndexArrays:
+    """Flat numeric view over a :class:`DocumentIndex` for the compiled engine.
+
+    Everything the array-program executor touches is a plain ``array('q')``
+    of document orders (or ``bytes`` for the special-child flags) — no
+    ``Node`` objects are dereferenced until result materialisation.  The
+    posting lists are shared with the index (already plain int lists); the
+    structural columns (``parent``, ``special``) are extracted once, lazily,
+    on the first compiled evaluation of the document.  NumPy would slot in
+    here transparently (same column layout) but the stdlib ``array`` module
+    keeps the backend dependency-free.
+    """
+
+    __slots__ = (
+        "size",
+        "parent",
+        "special",
+        "subtree_end",
+        "regular",
+        "_type_orders",
+        "_label_orders",
+        "_nodes",
+        "_string_match_cache",
+    )
+
+    def __init__(self, index: "DocumentIndex"):
+        nodes = index.nodes
+        self.size = len(nodes)
+        #: parent order per node (-1 for the root), indexed by order.
+        self.parent = array(
+            "q",
+            (node.parent.order if node.parent is not None else -1 for node in nodes),
+        )
+        #: 1 for attribute/namespace nodes, 0 otherwise, indexed by order.
+        self.special = bytes(1 if node.is_special_child else 0 for node in nodes)
+        self.subtree_end = array("q", index.subtree_end)
+        self.regular = array("q", index.regular_orders)
+        self._type_orders = index._by_type_orders
+        self._label_orders = index._by_label_orders
+        self._nodes = nodes
+        self._string_match_cache: dict[tuple[str, bool], tuple[int, ...]] = {}
+
+    def type_orders(self, node_type: NodeType) -> Sequence[int]:
+        return self._type_orders[node_type]
+
+    def label_orders(self, node_type: NodeType, name: str) -> Sequence[int]:
+        return self._label_orders.get((node_type, name), _EMPTY_ORDERS)
+
+    def string_match(self, value: str, negated: bool) -> Sequence[int]:
+        """Orders of nodes whose string-value equals (or differs from) ``value``.
+
+        One linear pre-scan per distinct literal, cached for the lifetime of
+        the document — the same memoisation the set-algebra interpreter uses
+        for ``StringMatchSet``, hoisted here so repeated compiled evaluations
+        pay O(1).
+        """
+        key = (value, negated)
+        cached = self._string_match_cache.get(key)
+        if cached is None:
+            if negated:
+                cached = tuple(
+                    node.order for node in self._nodes if node.string_value() != value
+                )
+            else:
+                cached = tuple(
+                    node.order for node in self._nodes if node.string_value() == value
+                )
+            self._string_match_cache[key] = cached
+        return cached
 
 
 class DocumentIndex:
@@ -69,6 +143,7 @@ class DocumentIndex:
         "by_label",
         "_by_type_orders",
         "_by_label_orders",
+        "_arrays",
     )
 
     def __init__(self, document: "Document"):
@@ -112,6 +187,20 @@ class DocumentIndex:
         self._by_label_orders: dict[tuple[NodeType, str], list[int]] = {
             label: [node.order for node in bucket] for label, bucket in by_label.items()
         }
+        self._arrays: IndexArrays | None = None
+
+    def arrays(self) -> IndexArrays:
+        """Lazily-built :class:`IndexArrays` view for the compiled engine.
+
+        Built at most once per index (a concurrent double-build is benign:
+        both views are identical and one wins the slot, the same race policy
+        as the plan-level memos).
+        """
+        arrays_view = self._arrays
+        if arrays_view is None:
+            arrays_view = IndexArrays(self)
+            self._arrays = arrays_view
+        return arrays_view
 
     # ------------------------------------------------------------------
     # Interval queries over the regular (non attribute/namespace) nodes

@@ -6,6 +6,21 @@ faithful reproduction: start/end/empty tags with attributes, character data,
 comments, CDATA sections, processing instructions, the XML declaration, and
 the five predefined entities plus decimal/hexadecimal character references.
 
+Entity / character-reference conformance:
+
+* character references are validated against the XML 1.0 ``Char``
+  production — ``#x9 | #xA | #xD | [#x20-#xD7FF] | [#xE000-#xFFFD] |
+  [#x10000-#x10FFFF]`` — so control characters (``&#2;``), surrogates
+  (``&#xD800;``) and out-of-range code points (``&#x110000;``) are
+  rejected with a positioned :class:`~repro.errors.XMLSyntaxError`, as are
+  malformed references (``&#xZZ;``);
+* general entities declared in a DOCTYPE *internal subset* (the DBLP-style
+  corpus shape: ``<!ENTITY uuml "ü">``) are registered and expanded in
+  text and attribute values, with recursive expansion bounded by a depth
+  cap and a total-size cap (the classic billion-laughs guard); parameter
+  entities, external (SYSTEM/PUBLIC) entities and entities expanding to
+  markup are skipped or rejected rather than fetched.
+
 The tokenizer is independent of the tree model; the parser in
 :mod:`repro.xmlmodel.parser` consumes the token stream and drives a
 :class:`~repro.xmlmodel.builder.TreeBuilder`.
@@ -55,6 +70,23 @@ class XMLToken:
 _NAME_START = re.compile(r"[A-Za-z_:]")
 _NAME_CHARS = re.compile(r"[-A-Za-z0-9_:.·]")
 _ENTITIES = {"lt": "<", "gt": ">", "amp": "&", "apos": "'", "quot": '"'}
+_DECIMAL_DIGITS = frozenset("0123456789")
+_HEX_DIGITS = frozenset("0123456789abcdefABCDEF")
+
+#: Billion-laughs guard: maximum nesting of entity-in-entity expansion and
+#: maximum total characters produced by expansion per text/attribute chunk.
+MAX_ENTITY_DEPTH = 32
+MAX_ENTITY_EXPANSION = 1_000_000
+
+
+def _is_xml_char(code_point: int) -> bool:
+    """The XML 1.0 ``Char`` production (well-formedness, §2.2)."""
+    return (
+        code_point in (0x9, 0xA, 0xD)
+        or 0x20 <= code_point <= 0xD7FF
+        or 0xE000 <= code_point <= 0xFFFD
+        or 0x10000 <= code_point <= 0x10FFFF
+    )
 
 
 class XMLLexer:
@@ -65,6 +97,8 @@ class XMLLexer:
         self._pos = 0
         self._line = 1
         self._column = 1
+        #: General entities declared in the DOCTYPE internal subset.
+        self._entities: dict[str, str] = {}
 
     # ------------------------------------------------------------------
     # Public interface
@@ -178,19 +212,116 @@ class XMLLexer:
         )
 
     def _read_doctype(self) -> str:
-        """Skip over a DOCTYPE declaration, tolerating an internal subset."""
-        depth = 1
+        """Read a DOCTYPE declaration, registering internal-subset entities.
+
+        The name and external-ID part is skipped (external DTDs are never
+        fetched); an internal subset ``[ … ]`` is walked declaration by
+        declaration so that ``<!ENTITY name "value">`` general entities are
+        registered for :func:`resolve_references`.  All other declarations
+        (ELEMENT, ATTLIST, NOTATION, parameter/external entities, comments,
+        PIs) are skipped, honouring quoted literals.
+        """
         start = self._pos
-        while depth > 0:
+        while True:
             ch = self._peek()
             if ch == "":
                 raise self._error("unterminated DOCTYPE declaration")
-            if ch == "<":
-                depth += 1
-            elif ch == ">":
-                depth -= 1
+            if ch == ">":
+                self._advance()
+                break
+            if ch == "[":
+                self._advance()
+                self._read_internal_subset()
+                continue
+            if ch in ("'", '"'):
+                self._skip_quoted()
+                continue
             self._advance()
         return self._text[start : self._pos - 1].strip()
+
+    def _skip_quoted(self) -> None:
+        quote = self._advance()
+        end = self._text.find(quote, self._pos)
+        if end < 0:
+            raise self._error("unterminated literal in DOCTYPE declaration")
+        self._advance(end - self._pos + 1)
+
+    def _read_internal_subset(self) -> None:
+        while True:
+            self._skip_whitespace()
+            ch = self._peek()
+            if ch == "":
+                raise self._error("unterminated DOCTYPE internal subset")
+            if ch == "]":
+                self._advance()
+                return
+            if self._text.startswith("<!--", self._pos):
+                self._advance(4)
+                self._read_until("-->", "unterminated comment in DOCTYPE")
+                continue
+            if self._text.startswith("<?", self._pos):
+                self._advance(2)
+                self._read_until("?>", "unterminated processing instruction in DOCTYPE")
+                continue
+            if self._text.startswith("<!ENTITY", self._pos):
+                self._read_entity_declaration()
+                continue
+            if ch == "<":
+                self._skip_declaration()
+                continue
+            if ch == "%":
+                # Parameter-entity reference: nothing to expand (we never
+                # register parameter entities), skip the %name; form.
+                self._advance()
+                self._read_name()
+                if self._peek() == ";":
+                    self._advance()
+                continue
+            raise self._error("malformed DOCTYPE internal subset")
+
+    def _read_entity_declaration(self) -> None:
+        self._advance(len("<!ENTITY"))
+        self._skip_whitespace()
+        parameter = False
+        if self._peek() == "%":
+            parameter = True
+            self._advance()
+            self._skip_whitespace()
+        name = self._read_name()
+        self._skip_whitespace()
+        quote = self._peek()
+        if quote in ("'", '"'):
+            self._advance()
+            end = self._text.find(quote, self._pos)
+            if end < 0:
+                raise self._error("unterminated entity value")
+            value = self._text[self._pos : end]
+            self._advance(end - self._pos + 1)
+            self._skip_whitespace()
+            self._expect(">")
+            # First binding wins (XML 1.0 §4.2); parameter entities are
+            # declaration-level macros we never expand, so don't register.
+            if not parameter and name not in self._entities:
+                self._entities[name] = value
+        else:
+            # External entity (SYSTEM/PUBLIC …): never fetched, not
+            # registered — references to it will fail as unknown.
+            self._skip_declaration(consumed_open=True)
+
+    def _skip_declaration(self, consumed_open: bool = False) -> None:
+        """Skip a ``<!…>`` declaration, honouring quoted literals."""
+        if not consumed_open:
+            self._advance()
+        while True:
+            ch = self._peek()
+            if ch == "":
+                raise self._error("unterminated declaration in DOCTYPE internal subset")
+            if ch in ("'", '"'):
+                self._skip_quoted()
+                continue
+            self._advance()
+            if ch == ">":
+                return
 
     def _read_attributes(self) -> list[tuple[str, str]]:
         attributes: list[tuple[str, str]] = []
@@ -212,7 +343,9 @@ class XMLLexer:
                 raise self._error("unterminated attribute value")
             raw = self._text[self._pos : end]
             self._advance(end - self._pos + 1)
-            attributes.append((name, resolve_references(raw, self._error)))
+            attributes.append(
+                (name, resolve_references(raw, self._error, self._entities))
+            )
 
     def _read_text(self) -> XMLToken:
         line, column = self._line, self._column
@@ -223,15 +356,46 @@ class XMLLexer:
         self._advance(end - self._pos)
         return XMLToken(
             XMLTokenType.TEXT,
-            data=resolve_references(raw, self._error),
+            data=resolve_references(raw, self._error, self._entities),
             line=line,
             column=column,
         )
 
 
-def resolve_references(raw: str, error_factory=None) -> str:
-    """Replace entity and character references in ``raw`` text."""
+def _character_reference(entity: str, fail) -> str:
+    """Decode ``#NN`` / ``#xHH``, enforcing the XML 1.0 Char production."""
+    if entity[1:2] in ("x", "X"):
+        digits, base, charset = entity[2:], 16, _HEX_DIGITS
+    else:
+        digits, base, charset = entity[1:], 10, _DECIMAL_DIGITS
+    # int() alone is too permissive ("+2", "1_0"); require plain digits so
+    # malformed references fail here, as XMLSyntaxError, not as ValueError.
+    if not digits or any(ch not in charset for ch in digits):
+        raise fail(f"malformed character reference &{entity};")
+    code_point = int(digits, base)
+    if code_point > 0x10FFFF or not _is_xml_char(code_point):
+        raise fail(
+            f"character reference &{entity}; is not a legal XML 1.0 character"
+        )
+    return chr(code_point)
 
+
+def resolve_references(raw: str, error_factory=None, entities=None) -> str:
+    """Replace entity and character references in ``raw`` text.
+
+    ``entities`` maps internal-subset general entity names to their (still
+    unexpanded) replacement text; expansion is recursive with a depth cap of
+    :data:`MAX_ENTITY_DEPTH` and a total output cap of
+    :data:`MAX_ENTITY_EXPANSION` characters (billion-laughs guard).  Every
+    failure is raised through ``error_factory`` (the lexer's positioned
+    :class:`~repro.errors.XMLSyntaxError` builder) — never as a raw
+    :class:`ValueError`.
+    """
+    budget = [MAX_ENTITY_EXPANSION]
+    return _resolve_references(raw, error_factory, entities, 0, budget)
+
+
+def _resolve_references(raw, error_factory, entities, depth, budget) -> str:
     def fail(message: str) -> Exception:
         if error_factory is not None:
             return error_factory(message)
@@ -251,12 +415,30 @@ def resolve_references(raw: str, error_factory=None) -> str:
         if end < 0:
             raise fail("unterminated entity reference")
         entity = raw[index + 1 : end]
-        if entity.startswith("#x") or entity.startswith("#X"):
-            out.append(chr(int(entity[2:], 16)))
-        elif entity.startswith("#"):
-            out.append(chr(int(entity[1:], 10)))
+        if entity.startswith("#"):
+            out.append(_character_reference(entity, fail))
         elif entity in _ENTITIES:
             out.append(_ENTITIES[entity])
+        elif entities and entity in entities:
+            if depth >= MAX_ENTITY_DEPTH:
+                raise fail(
+                    f"entity &{entity}; nested more than "
+                    f"{MAX_ENTITY_DEPTH} levels deep"
+                )
+            replacement = entities[entity]
+            budget[0] -= len(replacement)
+            if budget[0] < 0:
+                raise fail(
+                    f"entity expansion exceeds {MAX_ENTITY_EXPANSION} characters"
+                )
+            expanded = _resolve_references(
+                replacement, error_factory, entities, depth + 1, budget
+            )
+            if "<" in expanded:
+                raise fail(
+                    f"entity &{entity}; expands to markup, which is unsupported"
+                )
+            out.append(expanded)
         else:
             raise fail(f"unknown entity &{entity};")
         index = end + 1

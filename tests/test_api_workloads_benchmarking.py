@@ -52,7 +52,8 @@ class TestPublicApi:
     def test_engine_names_and_registry(self):
         names = repro.engine_names()
         assert "naive" in names and "topdown" in names and "corexpath" in names
-        assert len(names) == len(repro.ENGINE_CLASSES) == 8
+        assert "compiled" in names
+        assert len(names) == len(repro.ENGINE_CLASSES) == 9
 
     def test_get_engine_unknown(self):
         with pytest.raises(XPathEvaluationError):

@@ -236,6 +236,37 @@ class TestCliBatch:
         assert run(["batch", "//b", *files, "--engine", "corexpath"]) == 0
         assert len(capsys.readouterr().out.strip().splitlines()) == 3
 
+    def test_batch_compiled_engine(self, files, capsys):
+        assert run(["batch", "//b", *files, "--engine", "compiled"]) == 0
+        assert len(capsys.readouterr().out.strip().splitlines()) == 3
+
+    @pytest.mark.parametrize(
+        "payload",
+        ["<a>&#xZZ;</a>", "<a>&#x110000;</a>", "<a n='&#2;'/>"],
+        ids=["malformed", "out-of-range", "illegal-in-attr"],
+    )
+    def test_batch_isolates_character_reference_failures(
+        self, payload, files, tmp_path, capsys
+    ):
+        # ISSUE-7 regression: these used to escape as raw ValueError,
+        # crashing the whole batch instead of isolating one file (exit 1).
+        bad = tmp_path / "bad-ref.xml"
+        bad.write_text(payload, encoding="utf-8")
+        assert run(["batch", "//b", files[0], str(bad), files[2], "--jobs", "2"]) == 1
+        captured = capsys.readouterr()
+        assert len(captured.out.strip().splitlines()) == 2  # the good files
+        assert "error" in captured.err
+
+    def test_batch_resolves_internal_subset_entities(self, tmp_path, capsys):
+        path = tmp_path / "dblp.xml"
+        path.write_text(
+            "<!DOCTYPE dblp [<!ENTITY uuml '&#252;'>]>"
+            "<dblp><article>M&uuml;ller</article></dblp>",
+            encoding="utf-8",
+        )
+        assert run(["batch", "//article", str(path)]) == 0
+        assert capsys.readouterr().out.strip()
+
 
 class TestCliBatchFaults:
     """The batch subcommand under injected faults (ISSUE-6 satellite):

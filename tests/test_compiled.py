@@ -1,0 +1,332 @@
+"""Unit tests for the compiled array-program backend (ISSUE 7).
+
+The differential fuzz suite (tests/test_fuzz_differential.py) gates the
+engine against the eight tree engines and the streaming evaluator; the
+tests here pin down the pieces individually: compilability analysis,
+lowering, the instruction set, the per-axis array routines, the
+IndexArrays column view, fallback behaviour and the explain() wiring.
+"""
+
+import pytest
+
+from repro import api
+from repro.engines.base import EvalLimits
+from repro.engines.compiled import (
+    ArrayProgram,
+    CompiledEngine,
+    analyze_compilability,
+    execute_program,
+    lower_algebra,
+)
+from repro.errors import FragmentError, ResourceLimitExceeded
+from repro.fragments.algebra import (
+    ContextSet,
+    DomIfNonempty,
+    DomIfRoot,
+    DomSet,
+    IdApply,
+    RootSet,
+    UnionOp,
+)
+from repro.plan import plan_for
+from repro.session import XPathSession
+from repro.xpath.normalize import compile_query as normalize_query
+
+DOC = api.parse(
+    "<a id='r'>"
+    "<b n='1'>one<c/>two</b>"
+    "<!--note-->"
+    "<b n='2'><c><d>deep</d></c></b>"
+    "<?pi data?>"
+    "<b>three</b>"
+    "</a>"
+)
+
+
+def _compiled_orders(query, document=DOC, context=None):
+    plan = plan_for(query, engine="compiled", cache=None)
+    assert plan.classification.compilable, query
+    result = plan.evaluate(document, context=context)
+    return [node.order for node in result]
+
+
+def _reference_orders(query, document=DOC, context=None):
+    plan = plan_for(query, engine="topdown", cache=None)
+    return [node.order for node in plan.evaluate(document, context=context)]
+
+
+# ----------------------------------------------------------------------
+# Compilability analysis
+# ----------------------------------------------------------------------
+class TestAnalyzeCompilability:
+    def test_core_xpath_is_compilable(self):
+        report = analyze_compilability(normalize_query("//b/ancestor::a"))
+        assert report.compilable and report.violations == ()
+
+    def test_xpatterns_string_test_is_compilable(self):
+        report = analyze_compilability(normalize_query("//b[@n = '2']"))
+        assert report.compilable
+
+    def test_position_predicate_is_not(self):
+        report = analyze_compilability(normalize_query("//b[position() = 1]"))
+        assert not report.compilable
+        assert "XPatterns" in report.violations[0]
+
+    def test_id_is_not(self):
+        report = analyze_compilability(normalize_query("id('r')/b"))
+        assert not report.compilable
+        assert "id()" in report.violations[0]
+
+    def test_classification_carries_the_report(self):
+        plan = plan_for("//b", cache=None)
+        assert plan.classification.compilable
+        plan = plan_for("id('r')", cache=None)
+        assert not plan.classification.compilable
+        assert plan.classification.compile_violations
+
+
+# ----------------------------------------------------------------------
+# Lowering and the program IR
+# ----------------------------------------------------------------------
+class TestLowering:
+    def test_steps_fuse_into_axis_test_instructions(self):
+        program = plan_for("//b", cache=None).array_program()
+        assert [i.op for i in program.instructions] == ["root", "axis-test", "axis-test"]
+        assert len(program) == 3
+        assert program.result_register == program.instructions[-1].dest
+
+    def test_program_is_memoised_and_carried_by_retarget(self):
+        plan = plan_for("//b/c", engine="topdown", cache=None)
+        program = plan.array_program()
+        assert plan.array_program() is program
+        retargeted = plan_for(plan, engine="compiled", cache=None)
+        assert retargeted.array_program() is program
+
+    def test_non_compilable_plan_has_no_program(self):
+        assert plan_for("count(//b)", cache=None).array_program() is None
+
+    def test_render_names_registers_and_operands(self):
+        text = plan_for("//b[@n = '2']", cache=None).array_program().render()
+        assert "axis-test[descendant-or-self]" in text
+        assert "strmatch(='2')" in text
+        assert text.splitlines()[-1].startswith("result: r")
+
+    def test_negated_string_match_lowered(self):
+        text = plan_for("//b[@n != '2']", cache=None).array_program().render()
+        assert "strmatch(!='2')" in text
+
+    def test_boolean_predicates_lower_to_set_ops(self):
+        text = plan_for("//b[c or not(text())]", cache=None).array_program().render()
+        assert "union(" in text and "complement(" in text
+
+    def test_absolute_predicate_lowers_dom_if_root(self):
+        text = plan_for("//b[/a]", cache=None).array_program().render()
+        assert "dom-if-root(" in text
+
+    def test_id_apply_raises_fragment_error(self):
+        with pytest.raises(FragmentError):
+            lower_algebra(IdApply(RootSet()))
+
+    def test_unlowerable_leaf_raises_fragment_error(self):
+        with pytest.raises(FragmentError):
+            lower_algebra(object())
+
+    def test_dom_if_nonempty_lowering_and_execution(self):
+        # Only id-starts emit DomIfNonempty and those never compile, so this
+        # opcode is exercised through the algebra directly.
+        view = DOC.index.arrays()
+        program = lower_algebra(DomIfNonempty(RootSet()))
+        assert list(execute_program(program, view, (0,))) == list(range(view.size))
+        program = lower_algebra(DomIfNonempty(UnionOp(ContextSet(), ContextSet())))
+        assert list(execute_program(program, view, ())) == []
+
+    def test_dom_set_and_dom_if_root_execution(self):
+        view = DOC.index.arrays()
+        assert list(execute_program(lower_algebra(DomSet()), view, (0,))) == list(
+            range(view.size)
+        )
+        # A context set without the root gates dom-if-root to empty.
+        program = lower_algebra(DomIfRoot(ContextSet()))
+        assert list(execute_program(program, view, (3,))) == []
+
+
+# ----------------------------------------------------------------------
+# Execution semantics: every axis against the reference interpreter
+# ----------------------------------------------------------------------
+AXIS_QUERIES = [
+    "//b/self::b",
+    "//c/self::node()",
+    "//b/child::node()",
+    "//b/child::text()",
+    "/a/b/c",
+    "//d/parent::c",
+    "//text()/parent::b",
+    "/descendant::c",
+    "/descendant-or-self::b",
+    "//b/descendant::*",
+    "//d/ancestor::b",
+    "//c/ancestor-or-self::node()",
+    "//c/following::text()",
+    "//b/following::comment()",
+    "//c/preceding::c",
+    "//d/preceding::node()",
+    "//b/following-sibling::b",
+    "//b/following-sibling::node()",
+    "//b/preceding-sibling::b",
+    "//c/preceding-sibling::text()",
+    "//b/attribute::n",
+    "//b/attribute::*",
+    "//b/attribute::node()",
+    "//b/attribute::text()",
+    "//processing-instruction()",
+    "//processing-instruction('pi')",
+    "//comment()",
+]
+
+
+@pytest.mark.parametrize("query", AXIS_QUERIES)
+def test_axis_semantics_match_reference(query):
+    assert _compiled_orders(query) == _reference_orders(query)
+
+
+PREDICATE_QUERIES = [
+    "//b[@n]",
+    "//b[@n = '1']",
+    "//b[@n != '1']",
+    "//b[. = 'three']",
+    "//b[not(@n)]",
+    "//b[c and text()]",
+    "//b[c or @n = '2']",
+    "//b[not(following-sibling::b)]",
+    "//c[ancestor::b[@n = '2']]",
+    "//b[/a]",
+    "//b[/a/c]",
+]
+
+
+@pytest.mark.parametrize("query", PREDICATE_QUERIES)
+def test_predicate_semantics_match_reference(query):
+    assert _compiled_orders(query) == _reference_orders(query)
+
+
+def test_relative_query_uses_the_context_node():
+    b_nodes = api.select("//b", DOC)
+    for context in b_nodes:
+        for query in ("c", "following-sibling::b", "self::b[@n]"):
+            assert _compiled_orders(query, context=context) == _reference_orders(
+                query, context=context
+            ), (query, context.order)
+
+
+def test_attribute_context_node():
+    attr = api.select("//b/attribute::n", DOC)[0]
+    for query in ("self::node()", "ancestor::a", "following::c"):
+        assert _compiled_orders(query, context=attr) == _reference_orders(
+            query, context=attr
+        ), query
+
+
+def test_empty_results_on_missing_names():
+    assert _compiled_orders("//zzz") == []
+    assert _compiled_orders("//b[@missing = 'x']") == []
+
+
+# ----------------------------------------------------------------------
+# IndexArrays
+# ----------------------------------------------------------------------
+class TestIndexArrays:
+    def test_columns_mirror_the_node_table(self):
+        index = DOC.index
+        view = index.arrays()
+        assert view.size == len(index.nodes)
+        for node in index.nodes:
+            expected = node.parent.order if node.parent is not None else -1
+            assert view.parent[node.order] == expected
+            assert view.special[node.order] == (1 if node.is_special_child else 0)
+        assert list(view.regular) == index.regular_orders
+        assert list(view.subtree_end) == index.subtree_end
+
+    def test_view_is_memoised(self):
+        index = api.parse("<a><b/></a>").index
+        assert index.arrays() is index.arrays()
+
+    def test_string_match_scan_is_cached(self):
+        view = api.parse("<a><b>x</b><b>y</b></a>").index.arrays()
+        first = view.string_match("x", False)
+        assert view.string_match("x", False) is first
+        assert first != view.string_match("x", True)
+
+
+# ----------------------------------------------------------------------
+# Engine behaviour: stats, fallback, limits
+# ----------------------------------------------------------------------
+class TestCompiledEngine:
+    def test_registered_in_api(self):
+        assert "compiled" in api.engine_names()
+        assert isinstance(api.get_engine("compiled"), CompiledEngine)
+
+    def test_stats_count_instructions_and_cells(self):
+        session = XPathSession(engine="compiled")
+        result = session.run("//b", DOC)
+        counters = result.stats.as_dict()
+        assert counters["compiled_instructions"] == 3
+        assert counters["array_cells"] >= 3
+        assert "compiled_fallbacks" not in counters
+
+    def test_fallback_outside_the_fragment(self):
+        session = XPathSession(engine="compiled")
+        result = session.run("//b[position() = 2]", DOC)
+        assert result.stats.as_dict()["compiled_fallbacks"] == 1
+        assert [node.order for node in result.nodes] == _reference_orders(
+            "//b[position() = 2]"
+        )
+
+    def test_fallback_engines_are_pooled(self):
+        engine = CompiledEngine()
+        plan = plan_for("//b[position() = 1]", engine="compiled", cache=None)
+        engine.evaluate(plan, DOC)
+        fallback = engine._fallbacks[plan.classification.recommended_engine]
+        engine.evaluate(plan, DOC)
+        assert engine._fallbacks[plan.classification.recommended_engine] is fallback
+
+    def test_fallback_handles_id_queries(self):
+        got = [n.order for n in api.select("id('r')/b", DOC, engine="compiled")]
+        assert got == _reference_orders("id('r')/b")
+
+    def test_result_node_cap_applies(self):
+        size = len(api.select("//b", DOC))
+        with pytest.raises(ResourceLimitExceeded):
+            api.select(
+                "//b", DOC, engine="compiled", limits=EvalLimits(max_result_nodes=size - 1)
+            )
+
+    def test_operation_budget_aborts_mid_program(self):
+        with pytest.raises(ResourceLimitExceeded):
+            api.select(
+                "//b", DOC, engine="compiled", limits=EvalLimits(max_operations=1)
+            )
+
+    def test_empty_program_guard(self):
+        # register_count 0 / empty instructions never comes out of lowering;
+        # the dataclass still behaves.
+        assert len(ArrayProgram()) == 0
+
+
+# ----------------------------------------------------------------------
+# explain() wiring
+# ----------------------------------------------------------------------
+class TestExplain:
+    def test_compilable_line_without_program_dump(self):
+        explanation = XPathSession(engine="topdown").explain("//b")
+        assert "compiled:   yes (3-instruction array program)" in explanation
+        assert "axis-test" not in explanation
+
+    def test_compiled_engine_dumps_the_program(self):
+        explanation = XPathSession(engine="compiled").explain("//b")
+        assert "compiled:   yes (3-instruction array program)" in explanation
+        assert "axis-test[descendant-or-self]" in explanation
+        assert "result: r2" in explanation
+
+    def test_non_compilable_reports_the_reason(self):
+        explanation = XPathSession().explain("id('r')")
+        assert "compiled:   no (id() needs the identifier relation" in explanation

@@ -323,6 +323,73 @@ def test_streaming_limit_parity(query):
         api.select(query, parse_xml(source), limits=minimal)
 
 
+# ----------------------------------------------------------------------
+# Compiled array-program ↔ tree differential (ISSUE 7)
+#
+# The compiled engine is already a member of ENGINES, so every fuzz case
+# above runs it against the other eight engines (and the streamable subset
+# against the streaming evaluator).  The tests below pin down what that
+# sweep alone cannot: that compilable cases actually execute the array
+# program (not the fallback), and that resource limits abort the array
+# path like the interpreters.
+# ----------------------------------------------------------------------
+COMPILABLE_QUERIES = [
+    query for query in ALL_QUERIES if api.classify_query(query).compilable
+]
+
+#: The fixed seed must keep the compiled backend meaningfully exercised;
+#: the whole fuzz grammar (Core XPath + id-free XPatterns) lowers, so any
+#: drop below the corpus size means the classifier or grammar regressed.
+MIN_COMPILABLE_CASES = len(ALL_QUERIES) // 2
+
+
+def test_fuzz_corpus_has_compilable_cases():
+    assert len(COMPILABLE_QUERIES) >= MIN_COMPILABLE_CASES, len(COMPILABLE_QUERIES)
+
+
+_COMPILED_SESSION = XPathSession(engine="compiled", cache_size=2 * len(ALL_QUERIES))
+
+
+@pytest.mark.parametrize(
+    "query", COMPILABLE_QUERIES, ids=range(len(COMPILABLE_QUERIES))
+)
+def test_compiled_runs_array_path_on_compilable_fuzz_cases(query):
+    """Compilable cases execute the array program — no silent fallback."""
+    for doc_name, document in DOCUMENTS.items():
+        result = _COMPILED_SESSION.run(query, document)
+        counters = result.stats.as_dict()
+        assert counters.get("compiled_instructions", 0) > 0, (query, doc_name)
+        assert counters.get("compiled_fallbacks", 0) == 0, (query, doc_name)
+        assert [node.order for node in result.nodes] == _orders(
+            "topdown", query, document
+        ), (query, doc_name)
+
+
+@pytest.mark.parametrize(
+    "query",
+    COMPILABLE_QUERIES[: max(8, len(COMPILABLE_QUERIES) // 4)],
+    ids=range(max(8, len(COMPILABLE_QUERIES) // 4)),
+)
+def test_compiled_limit_parity(query):
+    """Limits behave like the interpreters: the result-node cap breaches at
+    exactly the same threshold, and a one-operation budget aborts the
+    program mid-run."""
+    for doc_name, document in DOCUMENTS.items():
+        result_size = len(api.select(query, document))
+        if result_size > 0:
+            tight = EvalLimits(max_result_nodes=result_size - 1)
+            with pytest.raises(ResourceLimitExceeded):
+                api.select(query, document, engine="compiled", limits=tight)
+        exact = EvalLimits(max_result_nodes=max(result_size, 1))
+        assert [
+            node.order
+            for node in api.select(query, document, engine="compiled", limits=exact)
+        ] == _orders("topdown", query, document), (query, doc_name)
+    minimal = EvalLimits(max_operations=1)
+    with pytest.raises(ResourceLimitExceeded):
+        api.select(query, DOCUMENTS["figure8"], engine="compiled", limits=minimal)
+
+
 @pytest.mark.parametrize(
     "query", CORE_QUERIES[: len(CORE_QUERIES) // 3], ids=range(len(CORE_QUERIES) // 3)
 )

@@ -84,6 +84,7 @@ class TestQueryResult:
             normalized: /descendant-or-self::node()/child::b
             fragment:   Core XPath  [time O(|D|·|Q|)]
             streaming:  yes (single-pass, O(depth) state)
+            compiled:   yes (3-instruction array program)
             engine:     topdown  (fragment recommends corexpath)
             cache:      miss (compiled)
             limits:     unlimited
@@ -101,6 +102,7 @@ class TestQueryResult:
             normalized: /descendant-or-self::node()/child::b
             fragment:   Core XPath  [time O(|D|·|Q|)]
             streaming:  yes (single-pass, O(depth) state)
+            compiled:   yes (3-instruction array program)
             engine:     corexpath  (resolved from 'auto', recommended for this fragment)
             cache:      miss (compiled)
             limits:     unlimited

@@ -138,6 +138,203 @@ class TestEntityResolution:
         assert token.data == "x < y"
 
 
+class TestCharacterReferenceConformance:
+    """ISSUE-7 bugfixes: malformed/out-of-range/illegal character references
+    must raise positioned XMLSyntaxError, never a raw ValueError."""
+
+    @pytest.mark.parametrize(
+        "raw",
+        ["&#xZZ;", "&#;", "&#x;", "&#12a;", "&#+65;", "&#-65;", "&#1_0;", "&#x 41;"],
+    )
+    def test_malformed_references_raise_xml_syntax_error(self, raw):
+        with pytest.raises(XMLSyntaxError, match="malformed character reference"):
+            resolve_references(raw)
+
+    @pytest.mark.parametrize(
+        "raw",
+        [
+            "&#x110000;",  # beyond Unicode
+            "&#1114112;",
+            "&#xFFFFFFFF;",  # far out of range (chr() would raise ValueError)
+            "&#0;",
+            "&#2;",  # control char outside the Char production
+            "&#x1F;",
+            "&#xD800;",  # surrogates
+            "&#xDFFF;",
+            "&#xFFFE;",  # non-characters excluded by the production
+            "&#xFFFF;",
+        ],
+    )
+    def test_non_xml_characters_rejected(self, raw):
+        with pytest.raises(XMLSyntaxError, match="not a legal XML 1.0 character"):
+            resolve_references(raw)
+
+    @pytest.mark.parametrize(
+        "raw, expected",
+        [
+            ("&#x9;", "\t"),
+            ("&#xA;", "\n"),
+            ("&#xD;", "\r"),
+            ("&#x20;", " "),
+            ("&#xD7FF;", "퟿"),
+            ("&#xE000;", ""),
+            ("&#xFFFD;", "�"),
+            ("&#x10000;", "\U00010000"),
+            ("&#x10FFFF;", "\U0010ffff"),
+            ("&#x1F600;", "\U0001f600"),
+        ],
+    )
+    def test_boundary_characters_accepted(self, raw, expected):
+        assert resolve_references(raw) == expected
+
+    def test_lexer_error_carries_position(self):
+        with pytest.raises(XMLSyntaxError) as excinfo:
+            tokens_of("<a>\n  &#xZZ;</a>")
+        assert excinfo.value.line == 2
+
+    def test_attribute_value_references_validated(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens_of('<a x="&#2;">')
+
+    def test_never_escapes_as_value_error(self):
+        # The CLI/Collection isolation contract: parse failures stay inside
+        # the ReproError hierarchy.
+        for raw in ("&#xZZ;", "&#x110000;", "&#2;"):
+            try:
+                resolve_references(raw)
+                assert False, f"{raw} accepted"
+            except XMLSyntaxError:
+                pass  # ValueError would propagate out of this except clause
+
+
+def _first_text(tokens):
+    return next(t.data for t in tokens if t.kind is XMLTokenType.TEXT)
+
+
+class TestInternalSubsetEntities:
+    """ISSUE-7 bugfix: DOCTYPE internal-subset general entities are
+    registered (DBLP corpus shape) instead of lost with the subset."""
+
+    DBLP = (
+        "<!DOCTYPE dblp [\n"
+        "  <!ELEMENT dblp (article)*>\n"
+        '  <!ATTLIST article mdate CDATA #IMPLIED key CDATA "">\n'
+        '  <!ENTITY uuml "&#252;">\n'
+        '  <!ENTITY Author "M&uuml;ller">\n'
+        '  <!ENTITY % param "never-expanded">\n'
+        '  <!ENTITY ext SYSTEM "http://example.invalid/x.dtd">\n'
+        "  <!NOTATION gif PUBLIC 'gif viewer'>\n"
+        "  <?checker run?>\n"
+        "  <!-- entities end here -->\n"
+        "]>\n"
+        "<dblp><article key='&uuml;'>by &Author;</article></dblp>"
+    )
+
+    def test_entities_resolved_in_text_and_attributes(self):
+        tokens = tokens_of(self.DBLP)
+        article = next(t for t in tokens if t.name == "article")
+        assert article.attributes == [("key", "ü")]
+        text = next(t for t in tokens if t.kind is XMLTokenType.TEXT and "by" in t.data)
+        assert text.data == "by Müller"
+
+    def test_parameter_and_external_entities_not_registered(self):
+        with pytest.raises(XMLSyntaxError, match="unknown entity"):
+            tokens_of("<!DOCTYPE a [<!ENTITY % p 'v'>]><a>&p;</a>")
+        with pytest.raises(XMLSyntaxError, match="unknown entity"):
+            tokens_of("<!DOCTYPE a [<!ENTITY e SYSTEM 'u'>]><a>&e;</a>")
+
+    def test_first_declaration_wins(self):
+        tokens = tokens_of(
+            "<!DOCTYPE a [<!ENTITY e 'first'><!ENTITY e 'second'>]><a>&e;</a>"
+        )
+        assert _first_text(tokens) == "first"
+
+    def test_quoted_gt_inside_declarations_is_tolerated(self):
+        tokens = tokens_of(
+            "<!DOCTYPE a PUBLIC '-//x//y>z//EN' 'http://e/x.dtd' ["
+            "<!ENTITY e 'a > b'>]><a>&e;</a>"
+        )
+        assert _first_text(tokens) == "a > b"
+
+    def test_recursive_expansion_depth_capped(self):
+        with pytest.raises(XMLSyntaxError, match="nested more than"):
+            tokens_of("<!DOCTYPE a [<!ENTITY x '&x;'>]><a>&x;</a>")
+
+    def test_billion_laughs_size_capped(self):
+        declarations = ["<!ENTITY lol0 'ha'>"]
+        for i in range(1, 10):
+            tenfold = f"&lol{i - 1};" * 10
+            declarations.append(f"<!ENTITY lol{i} \"{tenfold}\">")
+        bomb = f"<!DOCTYPE a [{''.join(declarations)}]><a>&lol9;</a>"
+        with pytest.raises(XMLSyntaxError, match="entity expansion exceeds"):
+            tokens_of(bomb)
+
+    def test_entity_expanding_to_markup_rejected(self):
+        with pytest.raises(XMLSyntaxError, match="expands to markup"):
+            tokens_of("<!DOCTYPE a [<!ENTITY e '&lt;b/&gt;x<y'>]><a>&e;</a>")
+
+    def test_unterminated_subset_rejected(self):
+        with pytest.raises(XMLSyntaxError):
+            tokens_of("<!DOCTYPE a [<!ENTITY e 'v'>")
+        with pytest.raises(XMLSyntaxError):
+            tokens_of("<!DOCTYPE a [<!ENTITY e 'v")
+
+    def test_entities_in_nested_references(self):
+        tokens = tokens_of(
+            "<!DOCTYPE a [<!ENTITY i '&#105;'><!ENTITY hi 'h&i;'>]><a>&hi;!</a>"
+        )
+        assert _first_text(tokens) == "hi!"
+
+
+class TestReferenceFuzz:
+    """Seeded fuzz of the character/entity-reference grammar: every
+    generated document either round-trips through the parser with the
+    expected string value or fails inside the ReproError hierarchy."""
+
+    def test_valid_reference_fuzz_round_trips(self):
+        import random
+
+        from repro.xmlmodel.parser import parse_xml
+
+        rng = random.Random(20260807)
+        legal_points = (
+            [0x9, 0xA, 0x20, 0x41, 0xD7FF, 0xE000, 0xFFFD, 0x10000, 0x10FFFF]
+            + [rng.randrange(0x20, 0xD7FF) for _ in range(30)]
+            + [rng.randrange(0x10000, 0x10FFFF) for _ in range(10)]
+        )
+        for code_point in legal_points:
+            ref = f"&#{code_point};" if rng.random() < 0.5 else f"&#x{code_point:x};"
+            document = parse_xml(f"<a name='p{ref}s'>t{ref}</a>")
+            expected = chr(code_point)
+            assert document.root.string_value() == f"t{expected}"
+            element = document.root.first_child
+            assert element.attribute_value("name") == f"p{expected}s"
+
+    def test_invalid_reference_fuzz_rejected_in_hierarchy(self):
+        import random
+
+        from repro.errors import ReproError
+        from repro.xmlmodel.parser import parse_xml
+
+        rng = random.Random(20260808)
+        cases = []
+        for _ in range(40):
+            roll = rng.random()
+            if roll < 0.25:
+                cases.append(f"&#{rng.randrange(0x110000, 0x7FFFFFFF)};")
+            elif roll < 0.5:
+                cases.append(f"&#xD{rng.randrange(0x800, 0xFFF):03X};")  # surrogate
+            elif roll < 0.75:
+                junk = "".join(rng.choice("zq!#%&*") for _ in range(rng.randint(1, 4)))
+                cases.append(f"&#{junk};")
+            else:
+                name = "".join(rng.choice("abcdef") for _ in range(rng.randint(3, 8)))
+                cases.append(f"&{name};")  # undeclared entity
+        for reference in cases:
+            with pytest.raises(ReproError):
+                parse_xml(f"<a>{reference}</a>")
+
+
 class TestPositions:
     def test_line_and_column_tracking(self):
         text = "<a>\n  <b/>\n</a>"
