@@ -1,0 +1,174 @@
+"""Benchmarks for the persistent document store (ISSUE 8).
+
+Two claims, both asserted against a DBLP-style corpus
+(:func:`~repro.workloads.documents.doc_dblp_source`, ~10^5 nodes):
+
+* **open beats parse** — ``DocumentStore.open`` + a compiled batch query
+  over the mapped columns is ≥20x faster than re-parsing the XML and
+  running the same query (REPRO_STORE_SPEEDUP_BAR; the local measurement
+  is far above the bar — opening is O(header + TOC), parsing is O(corpus));
+* **store-backed batches are not slower** — a fault-free batch over a
+  :class:`~repro.store.StoredCollection` (compiled engine, no tree ever
+  built) stays within REPRO_STORE_OVERHEAD_BAR of the same batch over the
+  pre-parsed in-memory collection.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_store.py -s``;
+``--benchmark-disable`` gives the smoke run CI uses.  Set
+REPRO_BENCH_RECORD=1 to append the measurements to BENCH_store.json.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.collection import Collection
+from repro.plan import plan_for
+from repro.store import DocumentStore, StoredCollection, build_store
+from repro.workloads.documents import doc_dblp_source
+from repro.xmlmodel.parser import parse_xml
+
+SPEEDUP_BAR = float(os.environ.get("REPRO_STORE_SPEEDUP_BAR", "20.0"))
+OVERHEAD_BAR = float(os.environ.get("REPRO_STORE_OVERHEAD_BAR", "1.05"))
+
+#: DBLP articles per document; ~13 nodes per article.  25 documents of 320
+#: articles ≈ 1.2 * 10^5 nodes total — the ISSUE-8 corpus scale, split so
+#: the batch paths have real fan-out.
+ARTICLES = int(os.environ.get("REPRO_STORE_BENCH_ARTICLES", "320"))
+DOCUMENTS = int(os.environ.get("REPRO_STORE_BENCH_DOCUMENTS", "25"))
+
+QUERY = "//article[@mdate]"
+
+
+@pytest.fixture(scope="module")
+def corpus(tmp_path_factory):
+    sources = [doc_dblp_source(ARTICLES, seed=seed) for seed in range(DOCUMENTS)]
+    documents = [parse_xml(source) for source in sources]
+    path = str(tmp_path_factory.mktemp("store-bench") / "dblp.reproxs")
+    build_store(path, documents, names=[f"dblp{seed}" for seed in range(DOCUMENTS)])
+    return sources, documents, path
+
+
+#: One pre-compiled plan for both sides — the comparison isolates *getting
+#: the corpus ready to answer*: the store side opens the file and runs the
+#: array program straight over the mapped columns (no tree is ever built);
+#: the re-parse side must rebuild every tree from XML text first.  Both
+#: return the same document orders, the repo's differential-test currency.
+PLAN = plan_for(QUERY, engine="compiled", cache=None)
+
+
+def _query_store(path):
+    with DocumentStore.open(path) as store:
+        return [list(handle.orders(PLAN)) for handle in store.documents]
+
+
+def _query_parsed(sources):
+    return [
+        [node.order for node in PLAN.select(parse_xml(source))]
+        for source in sources
+    ]
+
+
+def test_store_open_workload(benchmark, corpus):
+    _, _, path = corpus
+    benchmark(lambda: _query_store(path))
+
+
+def test_reparse_workload(benchmark, corpus):
+    sources, _, _ = corpus
+    benchmark(lambda: _query_parsed(sources))
+
+
+def _measure(callable_) -> float:
+    """Best-of-3 mean, with repetitions sized from a single probe so the
+    slow re-parse side doesn't stretch the run (~0.3s per round)."""
+    start = time.perf_counter()
+    callable_()
+    probe = time.perf_counter() - start
+    repetitions = max(1, min(20, int(0.3 / max(probe, 1e-9))))
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            callable_()
+        best = min(best, (time.perf_counter() - start) / repetitions)
+    return best
+
+
+def test_store_open_beats_reparse(corpus):
+    """Cold-open + query ≥SPEEDUP_BAR× faster than re-parse + query,
+    identical answers."""
+    sources, _, path = corpus
+    assert _query_store(path) == _query_parsed(sources)
+    store_s = _measure(lambda: _query_store(path))
+    parse_s = _measure(lambda: _query_parsed(sources))
+    speedup = parse_s / store_s
+    report = {
+        "open_ms": round(store_s * 1e3, 2),
+        "reparse_ms": round(parse_s * 1e3, 2),
+        "speedup": round(speedup, 1),
+    }
+    print(
+        f"\nstore-open vs re-parse: {report['speedup']}x "
+        f"(reparse {report['reparse_ms']}ms, open {report['open_ms']}ms)"
+    )
+    overhead = _batch_overhead(sources, path)
+    report["batch_overhead"] = overhead
+    print(
+        f"store-backed batch overhead: {overhead['ratio']}x "
+        f"(bar {OVERHEAD_BAR}x)"
+    )
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        _record_trajectory(report)
+    assert speedup >= SPEEDUP_BAR, (
+        f"store open only {speedup:.1f}x faster than re-parse "
+        f"(bar {SPEEDUP_BAR}x): {report}"
+    )
+    assert overhead["ratio"] <= OVERHEAD_BAR, (
+        f"store-backed batch {overhead['ratio']}x the in-memory batch "
+        f"(bar {OVERHEAD_BAR}x): {overhead}"
+    )
+
+
+def _batch_overhead(sources, path):
+    """Fault-free steady-state batches: stored vs pre-parsed in-memory
+    collection, store opened once (the parse-once-serve-forever regime)."""
+    parsed = Collection.from_sources(sources)
+    with DocumentStore.open(path) as store:
+        stored = StoredCollection(store)
+        # Warm both sides twice: plan cache, lazy materialisation, index
+        # arrays, column views — the steady state is what the bar is about.
+        for _ in range(2):
+            assert [
+                len(r.value) for r in stored.evaluate(QUERY, engine="compiled")
+            ] == [len(r.value) for r in parsed.evaluate(QUERY, engine="compiled")]
+        stored_s = _measure(lambda: stored.evaluate(QUERY, engine="compiled"))
+        parsed_s = _measure(lambda: parsed.evaluate(QUERY, engine="compiled"))
+    return {
+        "stored_ms": round(stored_s * 1e3, 2),
+        "parsed_ms": round(parsed_s * 1e3, 2),
+        "ratio": round(stored_s / parsed_s, 3),
+    }
+
+
+def _record_trajectory(report) -> None:
+    """Append this run to BENCH_store.json at the repo root."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_store.json"
+    trajectory = []
+    if path.exists():
+        trajectory = json.loads(path.read_text(encoding="utf-8"))
+    trajectory.append(
+        {
+            "date": time.strftime("%Y-%m-%d"),
+            "articles": ARTICLES,
+            "documents": DOCUMENTS,
+            "speedup_bar": SPEEDUP_BAR,
+            "overhead_bar": OVERHEAD_BAR,
+            "measurements": report,
+        }
+    )
+    path.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")

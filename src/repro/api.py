@@ -231,6 +231,38 @@ def stream_collection(
     return SourceCollection(sources, names=names, strip_whitespace=strip_whitespace)
 
 
+def build_store(
+    path,
+    documents: Iterable[Document],
+    names: Optional[Sequence[Optional[str]]] = None,
+) -> str:
+    """Serialise parsed documents into a persistent store file at ``path``.
+
+    The store is the columnar on-disk form of the pre/post accelerator
+    arrays: open it later with :func:`open_store` and the documents are
+    served straight off an ``mmap`` — no re-parsing, no index rebuild.
+    Returns the final path.
+    """
+    from .store import build_store as _build_store
+
+    return _build_store(path, documents, names)
+
+
+def open_store(path):
+    """Open a store file as a :class:`~repro.store.collection.StoredCollection`.
+
+    The file is mapped read-only and validated (magic, version, table-of-
+    contents checksum) in O(1) with respect to corpus size.  The collection
+    is a drop-in for :func:`parse_collection` output: compiled-fragment
+    batch queries run directly over the mapped columns, and tree engines
+    materialise documents lazily, each at most once.  Bound to the default
+    session; use :meth:`XPathSession.open_store` for an isolated session.
+    """
+    from .store import DocumentStore, StoredCollection
+
+    return StoredCollection(DocumentStore.open(path))
+
+
 def parallel_executor(
     *,
     backend: str = "thread",
@@ -380,6 +412,7 @@ __all__ = [
     "StreamRun",
     "XPathSession",
     "analyze_streamability",
+    "build_store",
     "classify_query",
     "compile_query",
     "default_session",
@@ -388,6 +421,7 @@ __all__ = [
     "evaluate",
     "explain",
     "get_engine",
+    "open_store",
     "parallel_executor",
     "parse",
     "parse_collection",

@@ -8,6 +8,9 @@ Usage::
     python -m repro.cli batch QUERY FILE [FILE ...] [--jobs N]
                         [--backend thread|process] [--stream] [--count]
                         [--retries N] [--deadline S] [--fail-fast]
+    python -m repro.cli store build STORE FILE [FILE ...]
+    python -m repro.cli store info STORE
+    python -m repro.cli store query QUERY STORE [--jobs N] [--backend B] ...
 
 The first form reads the XML document from FILE (or stdin when omitted),
 evaluates QUERY through the default session and prints the result: one line
@@ -44,9 +47,18 @@ files all succeeded but which needed fault recovery prints a ``# faults:``
 summary to stderr and exits with code 4 (degraded success) — distinct from
 0 (clean), 1 (per-file failures), 2 (I/O error) and 3 (limit breach).
 
-A first argument of ``explain`` or ``batch`` selects the subcommand; to
-*evaluate* a query literally so named, put ``--`` in front of it
-(``python -m repro.cli -- explain doc.xml``).
+The ``store`` subcommands manage persistent document stores — the on-disk
+columnar form of the pre/post accelerator arrays.  ``store build`` parses
+XML files once and serialises them into one store file; ``store info``
+prints the store's header summary and verifies every checksum; ``store
+query`` evaluates a query over the stored documents straight off the
+memory-mapped file (no re-parsing), with the same per-document isolation,
+parallelism flags, output shape and exit codes as ``batch``.  A corrupt or
+truncated store is a positioned error (exit code 1), never a crash.
+
+A first argument of ``explain``, ``batch`` or ``store`` selects the
+subcommand; to *evaluate* a query literally so named, put ``--`` in front
+of it (``python -m repro.cli -- explain doc.xml``).
 
 Examples::
 
@@ -56,6 +68,8 @@ Examples::
     python -m repro.cli explain "//book[price < 60]" catalog.xml
     python -m repro.cli explain "//a/b[child::c]" --plan-only
     python -m repro.cli batch "//item[@id]" a.xml b.xml c.xml --jobs 4
+    python -m repro.cli store build corpus.reproxs a.xml b.xml c.xml
+    python -m repro.cli store query "//item[@id]" corpus.reproxs --jobs 4
     echo "<a><b/></a>" | python -m repro.cli "//b" --classify --stats
 """
 
@@ -241,6 +255,93 @@ def build_batch_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_store_build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath store build",
+        description="Parse XML files once and serialise them into a "
+        "persistent store file (columnar, mmap-able).  Later runs open the "
+        "store and query it without re-parsing.",
+    )
+    parser.add_argument("store", help="store file to create")
+    parser.add_argument(
+        "files", nargs="+", metavar="FILE", help="XML input files (one document each)"
+    )
+    parser.add_argument(
+        "--strip-whitespace",
+        action="store_true",
+        help="drop whitespace-only text nodes while parsing",
+    )
+    return parser
+
+
+def build_store_info_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath store info",
+        description="Print a store file's header summary and verify every "
+        "checksum (header, table of contents, per-document blocks, full "
+        "payload).  Damage is reported with its file offset.",
+    )
+    parser.add_argument("store", help="store file to inspect")
+    return parser
+
+
+def build_store_query_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath store query",
+        description="Evaluate one XPath query over every document of a "
+        "persistent store, straight off the memory-mapped file: compiled-"
+        "fragment queries never rebuild a tree, others materialise each "
+        "document at most once.  Output shape and exit codes match 'batch'.",
+    )
+    parser.add_argument("query", help="the XPath query")
+    parser.add_argument("store", help="store file to query")
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(engine_names()) + ["auto"],
+        help=f"evaluation engine (default: {DEFAULT_ENGINE}; 'auto' picks by fragment)",
+    )
+    parser.add_argument(
+        "--jobs",
+        type=_positive_int,
+        default=None,
+        metavar="N",
+        help="evaluate the documents on N parallel workers (default: serial)",
+    )
+    parser.add_argument(
+        "--backend",
+        default=None,
+        choices=list(BACKENDS),
+        help="worker backend for --jobs (process workers reopen the store "
+        "by path — the documents are never pickled)",
+    )
+    parser.add_argument(
+        "--max-ops", type=int, default=None, metavar="N",
+        help="per-document operation budget (breaches fail the document)",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="per-document cap on node-set result size",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="per-document wall-clock budget",
+    )
+    parser.add_argument(
+        "--retries", type=_nonnegative_int, default=None, metavar="N",
+        help="resubmit a chunk lost to a dead worker up to N times",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="wall-clock budget for the whole batch",
+    )
+    parser.add_argument(
+        "--fail-fast", action="store_true",
+        help="stop after the first failed document",
+    )
+    return parser
+
+
 def _limits_from_args(args: argparse.Namespace) -> Optional[EvalLimits]:
     if args.max_ops is None and args.max_nodes is None and args.timeout is None:
         return None
@@ -286,6 +387,8 @@ def run(argv: Optional[Sequence[str]] = None, stdin: Optional[str] = None) -> in
         return _run_explain(list(argv[1:]), stdin)
     if argv and argv[0] == "batch":
         return _run_batch(list(argv[1:]))
+    if argv and argv[0] == "store":
+        return _run_store(list(argv[1:]))
     return _run_evaluate(list(argv), stdin)
 
 
@@ -431,6 +534,117 @@ def _run_batch(argv: Sequence[str]) -> int:
         else:
             print(f"{path}\t{results[path]}")
     if failures:
+        return 3 if limit_breached else 1
+    return 4 if degraded else 0
+
+
+def _run_store(argv: Sequence[str]) -> int:
+    if not argv or argv[0] not in ("build", "info", "query"):
+        print(
+            "usage: repro-xpath store {build,info,query} ...", file=sys.stderr
+        )
+        return 2
+    action, rest = argv[0], list(argv[1:])
+    try:
+        if action == "build":
+            return _run_store_build(build_store_build_parser().parse_args(rest))
+        if action == "info":
+            return _run_store_info(build_store_info_parser().parse_args(rest))
+        return _run_store_query(build_store_query_parser().parse_args(rest))
+    except ResourceLimitExceeded as error:
+        print(f"limit exceeded: {error}", file=sys.stderr)
+        return 3
+    except ReproError as error:
+        # Includes StoreCorruptError: a damaged store file is a positioned
+        # diagnostic (path, document, offset), never a traceback.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_store_build(args: argparse.Namespace) -> int:
+    from .store import DocumentStore
+
+    documents = []
+    for path in args.files:
+        with open(path, "r", encoding="utf-8") as handle:
+            source = handle.read()
+        try:
+            documents.append(
+                parse_xml(source, strip_whitespace=args.strip_whitespace)
+            )
+        except XMLSyntaxError as error:
+            # The store is one artifact: a malformed input fails the build
+            # (unlike 'batch', there is no per-file result to isolate into).
+            print(f"parse error: {path}: {error}", file=sys.stderr)
+            return 1
+    store = DocumentStore.build(args.store, documents, names=list(args.files))
+    try:
+        info = store.info()
+        print(
+            f"{args.store}\t{info['documents']} document(s), "
+            f"{info['nodes']} node(s), {info['file_bytes']} bytes"
+        )
+    finally:
+        store.close()
+    return 0
+
+
+def _run_store_info(args: argparse.Namespace) -> int:
+    from .store import DocumentStore
+
+    with DocumentStore.open(args.store) as store:
+        info = store.info()
+        for key in ("path", "version", "file_bytes", "documents", "nodes",
+                    "strings", "string_blob_bytes"):
+            print(f"{key}: {info[key]}")
+        store.verify()  # raises a positioned StoreCorruptError on damage
+        print("checksums: ok")
+        for position, document in enumerate(store.documents):
+            name = document.name if document.name is not None else f"doc[{position}]"
+            print(f"  [{position}] {name}: {document.node_count} node(s)")
+    return 0
+
+
+def _run_store_query(args: argparse.Namespace) -> int:
+    from .store import DocumentStore, StoredCollection
+
+    session = default_session()
+    requested = args.engine if args.engine is not None else DEFAULT_ENGINE
+    limits = _limits_from_args(args)
+
+    with DocumentStore.open(args.store) as store:
+        collection = StoredCollection(store, session=session)
+        batch = collection.evaluate(
+            args.query,
+            engine=requested,
+            limits=limits,
+            max_workers=args.jobs,
+            backend=args.backend,
+            deadline=args.deadline,
+            fail_fast=args.fail_fast,
+            retries=args.retries,
+        )
+        degraded = batch.failure_report is not None
+        limit_breached = False
+        failed = False
+        for result in batch:
+            if not result.ok:
+                failed = True
+                limit_breached |= isinstance(result.error, ResourceLimitExceeded)
+                prefix = (
+                    "cancelled" if isinstance(result.error, BatchAborted) else "error"
+                )
+                print(f"{result.name}\t{prefix}: {result.error}", file=sys.stderr)
+            elif isinstance(result.value, NodeSet):
+                print(f"{result.name}\t{len(result.value)} node(s)")
+            else:
+                print(f"{result.name}\t{to_string(result.value)}")
+        if degraded:
+            print(f"# faults: {batch.failure_report.summary()}", file=sys.stderr)
+    if failed:
         return 3 if limit_breached else 1
     return 4 if degraded else 0
 

@@ -44,6 +44,7 @@ Typical usage::
 
 from __future__ import annotations
 
+import os
 import time
 from dataclasses import dataclass
 from typing import Iterable, Iterator, Mapping, Optional, Sequence, Union
@@ -269,10 +270,24 @@ class Collection:
         names: Optional[Sequence[str]] = None,
         session=None,
     ) -> "Collection":
-        """Parse XML texts into a collection (indexes built once, here)."""
+        """Parse XML texts into a collection (indexes built once, here).
+
+        With ``REPRO_STORE_DEFAULT`` set (and no subclass in play), the
+        parsed documents are persisted to a temporary store file and a
+        :class:`~repro.store.StoredCollection` comes back instead — the
+        suite-wide switch that routes every batch through the store-backed
+        paths.
+        """
         documents = [
             parse_xml(source, strip_whitespace=strip_whitespace) for source in sources
         ]
+        if cls is Collection and os.environ.get("REPRO_STORE_DEFAULT"):
+            from .store.collection import StoredCollection, store_by_default
+
+            if store_by_default():
+                return StoredCollection.from_documents(
+                    documents, names=names, session=session
+                )
         return cls(documents, names=names, session=session)
 
     @property
@@ -527,7 +542,7 @@ class Collection:
             )
             return self._failure(index, outcome.error)
         session.stats.record(plan.engine_name, outcome.stats, outcome.elapsed)
-        document = self._documents[index]
+        document = self._document_at(index)
         if outcome.orders is not None:
             nodes = [document.index.nodes[order] for order in outcome.orders]
             return BatchResult(index, self._names[index], document, nodes=nodes)
@@ -540,9 +555,20 @@ class Collection:
             index, self._names[index], document, value=outcome.value
         )
 
+    def _document_at(self, index: int) -> Document:
+        """The evaluable document at ``index``.  Overridden by store-backed
+        collections to materialise handles lazily."""
+        return self._documents[index]
+
+    def _failure_document(self, index: int) -> Optional[Document]:
+        """The document attached to a failed :class:`BatchResult` — must
+        never raise (store-backed collections return what is already
+        materialised, possibly ``None``)."""
+        return self._documents[index]
+
     def _failure(self, index: int, error: ReproError) -> BatchResult:
         return BatchResult(
-            index, self._names[index], self._documents[index], error=error
+            index, self._names[index], self._failure_document(index), error=error
         )
 
     def __repr__(self) -> str:  # pragma: no cover - debugging aid

@@ -66,6 +66,58 @@ class XMLSyntaxError(ReproError):
         return (_restore, (type(self), self.args, {"line": self.line, "column": self.column}))
 
 
+class StoreCorruptError(ReproError):
+    """A persistent store file is damaged, truncated, or not a store at all.
+
+    Raised by :class:`~repro.store.DocumentStore` when opening or reading a
+    file whose header, TOC, or document-block checksums do not validate.
+    The batch paths treat it like any other per-document :class:`ReproError`:
+    a damaged document fails in isolation, it never crashes a worker.
+
+    Attributes
+    ----------
+    path:
+        Filesystem path of the offending store file, when known.
+    offset:
+        Byte offset of the damaged region within the file, when known.
+    position:
+        Index of the affected document within the store, when the damage is
+        local to one document block.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        path: str | None = None,
+        offset: int | None = None,
+        position: int | None = None,
+    ):
+        self.path = path
+        self.offset = offset
+        self.position = position
+        details = []
+        if path is not None:
+            details.append(str(path))
+        if position is not None:
+            details.append(f"document {position}")
+        if offset is not None:
+            details.append(f"offset {offset}")
+        if details:
+            message = f"{message} ({', '.join(details)})"
+        super().__init__(message)
+
+    def __reduce__(self):
+        return (
+            _restore,
+            (
+                type(self),
+                self.args,
+                {"path": self.path, "offset": self.offset, "position": self.position},
+            ),
+        )
+
+
 class XPathSyntaxError(ReproError):
     """The XPath query text cannot be tokenised or parsed.
 

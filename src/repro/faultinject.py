@@ -43,6 +43,10 @@ site            actions     effect
                             the matching source document
 ``stream.token`` ``delay``  sleep ``seconds`` at the matching token event of
                             the streaming scan loop
+``store``       ``corrupt`` raise :class:`~repro.errors.StoreCorruptError` when
+                            the matching stored document is first read from its
+                            store file (simulated on-disk damage; the batch
+                            paths must isolate it per document)
 =============== =========== ====================================================
 
 Faults are *attempt-gated*: ``max_attempt=K`` fires only while the
@@ -68,7 +72,7 @@ from contextlib import contextmanager
 from dataclasses import dataclass
 from typing import Iterator, Optional, Sequence
 
-from .errors import XMLSyntaxError
+from .errors import StoreCorruptError, XMLSyntaxError
 
 #: Environment variable carrying a fault-plan spec (or ``random:`` seeds).
 FAULT_PLAN_ENV = "REPRO_FAULT_PLAN"
@@ -82,6 +86,7 @@ SITE_ACTIONS: dict[str, frozenset[str]] = {
     "document": frozenset({"raise", "hang"}),
     "parse": frozenset({"fail"}),
     "stream.token": frozenset({"delay"}),
+    "store": frozenset({"corrupt"}),
 }
 
 
@@ -293,6 +298,11 @@ class FaultPlan:
                 raise InjectedFault(f"injected worker loss at {where}")
             if fault.action == "raise":
                 raise InjectedFault(f"injected fault at {where}")
+            if fault.action == "corrupt" and site == "store":
+                raise StoreCorruptError(
+                    f"injected store corruption at {where}",
+                    position=indices[0] if indices else None,
+                )
             if fault.action == "corrupt" and not process_worker:
                 raise InjectedFault(f"injected result corruption at {where}")
             if fault.action == "fail":

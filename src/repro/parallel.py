@@ -90,7 +90,7 @@ from .errors import (
 from .faultinject import active_plan, inject
 from .plan import CompiledQuery, PlanCache
 from .streaming import StreamMatch, stream_matches
-from .xmlmodel.document import Document
+from .xmlmodel.document import Document, as_document
 from .xmlmodel.parser import parse_xml
 from .xpath.values import NodeSet, XPathValue
 
@@ -216,6 +216,9 @@ def evaluate_document(
             return DocumentOutcome(
                 index, error=_deadline_error(), elapsed=time.perf_counter() - started
             )
+        # Stored-document handles materialise here, inside the isolation
+        # boundary: a corrupt store block fails this document only.
+        document = as_document(document)
         value = runner.evaluate(plan, document, None, variables, limits=limits)
     except ReproError as error:
         return DocumentOutcome(

@@ -40,7 +40,7 @@ from typing import Hashable, Iterable, Mapping, Optional, Union
 
 from .errors import XPathEvaluationError
 from .fragments.classify import Classification, classify_normalized
-from .xmlmodel.document import Document
+from .xmlmodel.document import Document, as_document
 from .xmlmodel.nodes import Node
 from .xpath.ast import Expression, VariableReference, walk
 from .xpath.context import Context
@@ -227,8 +227,14 @@ class CompiledQuery:
         context: Optional[Union[Context, Node]] = None,
         variables: Optional[Mapping[str, XPathValue]] = None,
     ) -> XPathValue:
-        """Evaluate this plan over ``document`` with its resolved engine."""
-        return self._engine().evaluate(self, document, context, variables)
+        """Evaluate this plan over ``document`` with its resolved engine.
+
+        ``document`` may also be a stored-document handle (anything with a
+        ``materialize()`` method) — it is coerced here, so plans evaluate
+        directly over persistent-store entries."""
+        return self._engine().evaluate(
+            self, as_document(document), context, variables
+        )
 
     def select(
         self,
@@ -237,7 +243,7 @@ class CompiledQuery:
         variables: Optional[Mapping[str, XPathValue]] = None,
     ) -> list[Node]:
         """Evaluate a node-set plan and return nodes in document order."""
-        return self._engine().select(self, document, context, variables)
+        return self._engine().select(self, as_document(document), context, variables)
 
     def _engine(self):
         from .api import default_session  # local import to avoid a cycle

@@ -71,7 +71,7 @@ from .fragments.core_xpath import CoreXPathEngine
 from .fragments.xpatterns import XPatternsEngine
 from .plan import DEFAULT_ENGINE, CompiledQuery, PlanCache, plan_for
 from .streaming import StreamMatch, stream_matches
-from .xmlmodel.document import Document
+from .xmlmodel.document import Document, as_document
 from .xmlmodel.nodes import Node
 from .xmlmodel.parser import parse_xml
 from .xpath.context import Context
@@ -491,6 +491,15 @@ class XPathSession:
             sources, names=names, strip_whitespace=strip_whitespace, session=self
         )
 
+    def open_store(self, path):
+        """Open a persistent document store file as a session-bound
+        :class:`~repro.store.collection.StoredCollection` — the file is
+        mapped, not parsed, and documents materialise only if a tree engine
+        (or the caller) needs one."""
+        from .store import DocumentStore, StoredCollection  # avoid a cycle
+
+        return StoredCollection(DocumentStore.open(path), session=self)
+
     # ------------------------------------------------------------------
     # Compilation
     # ------------------------------------------------------------------
@@ -563,6 +572,10 @@ class XPathSession:
         runner = self.engine(plan.engine_name)
         started = time.perf_counter()
         try:
+            # Stored-document handles materialise here, inside the error
+            # accounting: a corrupt store block is recorded like any other
+            # failed evaluation.
+            document = as_document(document)
             value = runner.evaluate(
                 plan, document, context, merged or None, limits=effective_limits
             )

@@ -10,6 +10,10 @@
 * ``doc_example_2()`` / DOC(4) — the document of Example 4.1/6.4;
 * ``doc_idref(...)`` — a small ID/IDREF document exercising the ``ref``
   relation of Section 10.2;
+* ``doc_dblp(...)`` — a DBLP-style bibliography (wide flat ``article``
+  records, ``mdate``/``key`` attributes, internal-subset entities) scaled
+  by the article count to 10^5–10^6 nodes; the persistent-store benchmark
+  corpus;
 * ``random_document(...)`` — a seeded random tree generator used by the
   property-based tests.
 
@@ -149,6 +153,74 @@ def doc_library(books: int = 20, seed: int = 7) -> Document:
         builder.end("book")
     builder.end("library")
     return builder.finish()
+
+
+#: Internal-subset entity declarations used by the DBLP-style corpus — the
+#: accented-author entities the real DBLP DTD is famous for.
+_DBLP_ENTITIES = {
+    "uuml": "ü",
+    "auml": "ä",
+    "ouml": "ö",
+    "eacute": "é",
+    "agrave": "à",
+}
+
+_DBLP_SURNAMES = (
+    "M&uuml;ller", "Sch&auml;fer", "K&ouml;nig", "Andr&eacute;", "Lef&agrave;vre",
+    "Smith", "Tanaka", "Garcia", "Kumar", "Novak",
+)
+_DBLP_GIVEN = ("Anna", "Bruno", "Chen", "Dana", "Emil", "Filip", "Greta", "Hana")
+_DBLP_JOURNALS = ("VLDB J.", "TODS", "SIGMOD Record", "JACM", "TKDE")
+_DBLP_TOPICS = (
+    "XPath Processing", "Query Containment", "Tree Automata",
+    "Stream Evaluation", "Access Paths", "Monadic Datalog",
+)
+
+
+def doc_dblp_source(articles: int, seed: int = 11) -> str:
+    """XML text of a DBLP-style bibliography: ``articles`` flat ``<article>``
+    records under one wide root, the shape of the real ``dblp.xml``.
+
+    Each record carries the DBLP signature attributes (``mdate``, ``key``),
+    2–4 ``author`` children plus ``title`` / ``year`` / ``journal``, and the
+    author names use internal-subset entity references (``&uuml;`` and
+    friends, declared in the DOCTYPE) — so the generated corpus exercises
+    entity expansion, attributes and wide-flat iteration at once.  At
+    roughly 13 nodes per record, ``articles=8000`` yields a ~10^5-node
+    document and ``articles=80000`` a ~10^6-node one.
+    """
+    rng = random.Random(seed)
+    declarations = "".join(
+        f'  <!ENTITY {name} "{value}">\n' for name, value in _DBLP_ENTITIES.items()
+    )
+    parts = [
+        '<?xml version="1.0" encoding="UTF-8"?>\n',
+        f"<!DOCTYPE dblp [\n{declarations}]>\n",
+        "<dblp>",
+    ]
+    for index in range(articles):
+        year = 1990 + rng.randrange(13)
+        surname = rng.choice(_DBLP_SURNAMES)
+        key = f"journals/vldb/{surname.split(';')[-1][:4]}{index}"
+        mdate = f"{2000 + rng.randrange(3)}-{1 + rng.randrange(12):02d}-{1 + rng.randrange(28):02d}"
+        parts.append(f'<article mdate="{mdate}" key="{key}">')
+        for _ in range(2 + rng.randrange(3)):
+            parts.append(
+                f"<author>{rng.choice(_DBLP_GIVEN)} {rng.choice(_DBLP_SURNAMES)}</author>"
+            )
+        parts.append(
+            f"<title>{rng.choice(_DBLP_TOPICS)} {index}.</title>"
+            f"<year>{year}</year>"
+            f"<journal>{rng.choice(_DBLP_JOURNALS)}</journal>"
+            "</article>"
+        )
+    parts.append("</dblp>")
+    return "".join(parts)
+
+
+def doc_dblp(articles: int, seed: int = 11) -> Document:
+    """The DBLP-style corpus of :func:`doc_dblp_source`, parsed and frozen."""
+    return parse_xml(doc_dblp_source(articles, seed))
 
 
 def random_document(

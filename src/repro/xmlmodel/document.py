@@ -14,6 +14,7 @@ mapping each node test to the subset of ``dom`` satisfying it.  A
 
 from __future__ import annotations
 
+import os
 from operator import attrgetter
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
@@ -38,6 +39,11 @@ class Document:
         The paper's ``deref_ids`` function needs only a node-id mapping; we
         follow the common convention of using attributes named ``id``.
     """
+
+    #: ``(store_path, position)`` when this document was materialised from a
+    #: persistent store (set by ``StoredDocument.materialize``); lets
+    #: ``__reduce__`` ship a path instead of the whole tree.
+    _store_origin: Optional[tuple[str, int]] = None
 
     def __init__(self, root: Node, id_attribute: str = "id"):
         if root.node_type is not NodeType.ROOT:
@@ -64,7 +70,18 @@ class Document:
         :meth:`freeze` restores the identical document orders — orders are
         assigned by a deterministic preorder walk of the structure this
         payload preserves exactly.
+
+        Documents that came out of a persistent store skip the flat payload
+        entirely: they pickle as their ``(path, position)`` origin, and the
+        receiving process re-materialises from its own (cached) mapping of
+        the store file — per-batch serialization cost becomes O(1) per
+        document and the OS page cache is shared across workers.  If the
+        store file has meanwhile disappeared, the flat form below is the
+        fallback, so the pickle never breaks.
         """
+        origin = self._store_origin
+        if origin is not None and os.path.exists(origin[0]):
+            return (_rebuild_from_store, origin)
         payload = []
         stack = [(self.root, -1)]
         while stack:
@@ -266,3 +283,33 @@ def _rebuild_document(payload, id_attribute: str, frozen: bool) -> "Document":
     if frozen:
         document.freeze()
     return document
+
+
+def _rebuild_from_store(path: str, position: int) -> "Document":
+    """Unpickle counterpart of the store-origin fast path of
+    :meth:`Document.__reduce__`: reopen the store (one cached mapping per
+    process) and materialise the document from its columns."""
+    from ..store.reader import open_cached  # deferred: store sits above us
+
+    return open_cached(path).document_at(position).materialize()
+
+
+def as_document(obj) -> "Document":
+    """Coerce ``obj`` to a :class:`Document`.
+
+    Accepts documents as-is and duck-types stored-document handles (anything
+    with a ``materialize()`` method), so every evaluation entry point —
+    sessions, batch loops, worker backends — transparently takes documents
+    straight from a persistent store.  Materialisation failures (e.g. a
+    corrupt store block) propagate from here, which is why the batch paths
+    call this *inside* their per-document isolation boundary.
+    """
+    if isinstance(obj, Document):
+        return obj
+    materialize = getattr(obj, "materialize", None)
+    if materialize is not None:
+        return materialize()
+    raise TypeError(
+        f"expected a Document or a stored document handle, "
+        f"got {type(obj).__name__}"
+    )
