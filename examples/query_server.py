@@ -1,0 +1,161 @@
+#!/usr/bin/env python3
+"""Async multi-tenant query service: the serving layer (ISSUE 9).
+
+Builds a small DBLP-style store, starts the stdlib-only asyncio HTTP/JSON
+server in-process, and walks through the serving story:
+
+1. tenancy — two tenants over ONE shared mmap-backed store: ``analytics``
+   gets generous limits, ``freeloader`` a 200-operation budget; each has
+   its own plan cache and stats;
+2. the query protocol — ``POST /query`` with tenant/doc/deadline, responses
+   carrying engine / cache-hit / timing provenance;
+3. admission control — the freeloader's budget breach maps to 422, a
+   too-tight per-request deadline to 408, queue overflow to 429: three
+   *distinct* statuses, so clients can tell "ask for less" from "retry
+   later";
+4. batch — ``POST /batch`` fans one query over every stored document
+   through the shared process pool;
+5. drain — the server stops admitting (503), finishes in-flight work,
+   and closes cleanly.
+
+The same server runs standalone via the CLI::
+
+    PYTHONPATH=src python -m repro.cli serve corpus.reproxs \\
+        --port 8300 --tenants tenants.json
+
+Run with::
+
+    python examples/query_server.py
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import sys
+import tempfile
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.engines.base import EvalLimits
+from repro.server import QueryServer, QueryService, ServerConfig, TenantConfig
+from repro.store import build_store
+from repro.workloads.documents import doc_dblp_source
+from repro.xmlmodel.parser import parse_xml
+
+
+async def request(host, port, method, path, body=None):
+    """A minimal HTTP/1.1 client: one request, Content-Length framing."""
+    reader, writer = await asyncio.open_connection(host, port)
+    data = json.dumps(body).encode() if body is not None else b""
+    writer.write(
+        (
+            f"{method} {path} HTTP/1.1\r\nHost: example\r\n"
+            f"Content-Length: {len(data)}\r\nConnection: close\r\n\r\n"
+        ).encode()
+        + data
+    )
+    await writer.drain()
+    raw = await reader.read()
+    writer.close()
+    await writer.wait_closed()
+    head, _, payload = raw.partition(b"\r\n\r\n")
+    return int(head.split(b" ", 2)[1]), json.loads(payload)
+
+
+async def main() -> None:
+    workdir = Path(tempfile.mkdtemp(prefix="repro-server-"))
+    store_path = str(workdir / "corpus.reproxs")
+    print("== Build the shared store (parse once, serve forever) ==")
+    shards = 6
+    build_store(
+        store_path,
+        [parse_xml(doc_dblp_source(120, seed=seed)) for seed in range(shards)],
+        names=[f"dblp{seed}" for seed in range(shards)],
+    )
+    print(f"store: {shards} documents at {store_path}")
+
+    config = ServerConfig(
+        store_path=store_path,
+        host="127.0.0.1",
+        port=0,  # ephemeral
+        tenants=(
+            TenantConfig(name="analytics", limits=EvalLimits()),
+            TenantConfig(
+                name="freeloader",
+                limits=EvalLimits(max_operations=200),
+                cache_size=16,
+            ),
+        ),
+        max_queue=8,
+        max_concurrency=2,
+    )
+    service = QueryService(config)
+    server = QueryServer(service)
+    host, port = await server.start()
+    print(f"listening on http://{host}:{port}")
+
+    print("\n== POST /query: value + provenance metadata ==")
+    status, payload = await request(
+        host, port, "POST", "/query",
+        {"tenant": "analytics", "query": "count(//article[@mdate])"},
+    )
+    print(f"{status}: value={payload['value']} meta={payload['meta']}")
+
+    print("\n== Same plan again: the tenant's cache answers ==")
+    status, payload = await request(
+        host, port, "POST", "/query",
+        {"tenant": "analytics", "query": "count(//article[@mdate])"},
+    )
+    print(f"cache_hit={payload['meta']['cache_hit']} "
+          f"elapsed_ms={payload['meta']['elapsed_ms']}")
+
+    print("\n== Distinct statuses: budget breach vs deadline vs overflow ==")
+    status, payload = await request(
+        host, port, "POST", "/query",
+        {"tenant": "freeloader", "query": "//article[position() > 2]"},
+    )
+    print(f"freeloader budget breach -> {status} {payload['error']['code']}")
+    status, payload = await request(
+        host, port, "POST", "/query",
+        {"tenant": "analytics", "query": "count(//article)",
+         "deadline": 1e-9},
+    )
+    print(f"1ns deadline             -> {status} {payload['error']['code']}")
+    for _ in range(service.capacity):
+        service.admit()  # simulate a saturated queue
+    status, payload = await request(
+        host, port, "POST", "/query",
+        {"tenant": "analytics", "query": "count(//article)"},
+    )
+    print(f"queue full               -> {status} {payload['error']['code']}")
+    for _ in range(service.capacity):
+        service.release()
+
+    print("\n== POST /batch: one query over every stored document ==")
+    status, payload = await request(
+        host, port, "POST", "/batch",
+        {"tenant": "analytics", "query": "count(//article[@mdate])"},
+    )
+    print(f"{status}: ok={payload['meta']['ok']} "
+          f"engine={payload['meta']['engine']}")
+    for entry in payload["results"]:
+        print(f"  {entry['doc']}: {entry['value']}")
+
+    print("\n== GET /stats: per-tenant isolation, shared store ==")
+    _, stats = await request(host, port, "GET", "/stats")
+    for name, tenant_stats in stats["tenants"].items():
+        print(f"  {name}: queries={tenant_stats['queries']} "
+              f"errors={tenant_stats['errors']}")
+
+    print("\n== Drain: refuse new work, finish in-flight, close ==")
+    service.start_draining()
+    status, payload = await request(host, port, "GET", "/healthz")
+    print(f"healthz while draining -> {status} {payload}")
+    await server.drain()
+    print("drained; server closed")
+
+
+if __name__ == "__main__":
+    asyncio.run(main())

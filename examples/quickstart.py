@@ -107,6 +107,21 @@ def main() -> None:
     stored.close()
 
     print()
+    print("== Serve it: the async multi-tenant query service ==")
+    # The same store goes behind a stdlib-only asyncio HTTP/JSON server —
+    # per-tenant sessions (own plan cache + EvalLimits as admission
+    # control) over one shared mapping, bounded-queue backpressure, and
+    # clean SIGTERM drain (full tour: examples/query_server.py):
+    #
+    #     repro.api.serve(store_path, port=8300,
+    #                     tenants=[{"name": "analytics"},
+    #                              {"name": "guest",
+    #                               "limits": {"max_operations": 10_000}}])
+    #     # or: python -m repro.cli serve catalog.reproxs --port 8300
+    #     # POST /query  {"tenant": "guest", "query": "//book", "doc": 0}
+    print("api.serve(store_path) — see examples/query_server.py")
+
+    print()
     print("== One-liners still work (they share a default session) ==")
     doc = repro.parse(CATALOG, strip_whitespace=True)
     print("Second book id:    ", repro.select("//book[2]", doc)[0].attribute_value("id"))

@@ -55,6 +55,7 @@ for the query's fragment.
 
 from __future__ import annotations
 
+import os
 from typing import Iterable, Mapping, Optional, Sequence, Union
 
 from .collection import (
@@ -391,6 +392,47 @@ def classify_query(query: Union[str, object]) -> Classification:
     return classify(query)
 
 
+def serve(
+    store_path,
+    *,
+    host: str = "127.0.0.1",
+    port: int = 8300,
+    tenants=(),
+    max_queue: int = 64,
+    max_concurrency: int = 8,
+    default_deadline: Optional[float] = None,
+    drain_grace: float = 5.0,
+) -> None:
+    """Serve ``store_path`` over HTTP/JSON until SIGTERM (blocking).
+
+    The async multi-tenant query service: per-tenant sessions (own plan
+    cache + :class:`EvalLimits`), one shared read-only store mapping, one
+    shared process pool for ``/batch``, and a bounded request queue for
+    backpressure.  ``tenants`` is a sequence of
+    :class:`~repro.server.config.TenantConfig` (or dicts); empty means a
+    single unrestricted ``"default"`` tenant.  See :mod:`repro.server`.
+    """
+    from .server import ServerConfig, TenantConfig, serve as _serve
+
+    resolved = tuple(
+        tenant if isinstance(tenant, TenantConfig)
+        else TenantConfig.from_dict(tenant)
+        for tenant in tenants
+    )
+    _serve(
+        ServerConfig(
+            store_path=os.fspath(store_path),
+            host=host,
+            port=port,
+            tenants=resolved,
+            max_queue=max_queue,
+            max_concurrency=max_concurrency,
+            default_deadline=default_deadline,
+            drain_grace=drain_grace,
+        )
+    )
+
+
 __all__ = [
     "BatchResult",
     "BatchRun",
@@ -429,6 +471,7 @@ __all__ = [
     "render_explanation",
     "run",
     "select",
+    "serve",
     "session",
     "stream",
     "stream_by_default",

@@ -11,6 +11,8 @@ Usage::
     python -m repro.cli store build STORE FILE [FILE ...]
     python -m repro.cli store info STORE
     python -m repro.cli store query QUERY STORE [--jobs N] [--backend B] ...
+    python -m repro.cli serve STORE [--host H] [--port P] [--tenants FILE]
+                        [--max-queue N] [--max-concurrency N] [--deadline S]
 
 The first form reads the XML document from FILE (or stdin when omitted),
 evaluates QUERY through the default session and prints the result: one line
@@ -389,6 +391,8 @@ def run(argv: Optional[Sequence[str]] = None, stdin: Optional[str] = None) -> in
         return _run_batch(list(argv[1:]))
     if argv and argv[0] == "store":
         return _run_store(list(argv[1:]))
+    if argv and argv[0] == "serve":
+        return _run_serve(list(argv[1:]))
     return _run_evaluate(list(argv), stdin)
 
 
@@ -536,6 +540,94 @@ def _run_batch(argv: Sequence[str]) -> int:
     if failures:
         return 3 if limit_breached else 1
     return 4 if degraded else 0
+
+
+def build_serve_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath serve",
+        description="Serve a document store over HTTP/JSON: per-tenant "
+        "sessions (own plan cache and limits), one shared read-only store "
+        "mapping, one shared process pool for /batch, and a bounded "
+        "request queue for backpressure (429 when full).  SIGTERM drains "
+        "in-flight requests before exiting.",
+    )
+    parser.add_argument("store", help="store file to serve (see 'store build')")
+    parser.add_argument("--host", default="127.0.0.1", help="bind address")
+    parser.add_argument(
+        "--port", type=int, default=8300, help="bind port (0 for ephemeral)"
+    )
+    parser.add_argument(
+        "--tenants", default=None, metavar="FILE",
+        help="JSON tenants file: a list of {name, limits, cache_size, "
+        "engine} objects (default: one unrestricted 'default' tenant)",
+    )
+    parser.add_argument(
+        "--max-queue", type=_nonnegative_int, default=64, metavar="N",
+        help="admitted requests that may wait behind the running ones "
+        "before new arrivals get 429 (default: 64)",
+    )
+    parser.add_argument(
+        "--max-concurrency", type=_positive_int, default=8, metavar="N",
+        help="evaluations running at once (default: 8)",
+    )
+    parser.add_argument(
+        "--max-ops", type=int, default=None, metavar="N",
+        help="default per-query operation budget for every tenant without "
+        "explicit limits",
+    )
+    parser.add_argument(
+        "--max-nodes", type=int, default=None, metavar="N",
+        help="default per-query cap on node-set result size",
+    )
+    parser.add_argument(
+        "--timeout", type=float, default=None, metavar="SECONDS",
+        help="default per-query wall-clock budget",
+    )
+    parser.add_argument(
+        "--deadline", type=float, default=None, metavar="SECONDS",
+        help="default per-request deadline (maps breaches to 408)",
+    )
+    parser.add_argument(
+        "--drain-grace", type=float, default=5.0, metavar="SECONDS",
+        help="how long SIGTERM waits for in-flight requests (default: 5)",
+    )
+    return parser
+
+
+def _run_serve(argv: Sequence[str]) -> int:
+    from .server import ServerConfig, TenantConfig, load_tenants, serve
+
+    parser = build_serve_parser()
+    args = parser.parse_args(argv)
+    try:
+        if args.tenants is not None:
+            tenants = load_tenants(args.tenants)
+        else:
+            limits = _limits_from_args(args)
+            tenants = (
+                (TenantConfig(name="default", limits=limits),)
+                if limits is not None else ()
+            )
+        config = ServerConfig(
+            store_path=args.store,
+            host=args.host,
+            port=args.port,
+            tenants=tenants,
+            max_queue=args.max_queue,
+            max_concurrency=args.max_concurrency,
+            default_deadline=args.deadline,
+            drain_grace=args.drain_grace,
+        )
+        serve(config)
+        return 0
+    except (ValueError, ReproError) as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    except KeyboardInterrupt:  # pragma: no cover - interactive stop
+        return 0
 
 
 def _run_store(argv: Sequence[str]) -> int:

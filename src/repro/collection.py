@@ -273,21 +273,23 @@ class Collection:
         """Parse XML texts into a collection (indexes built once, here).
 
         With ``REPRO_STORE_DEFAULT`` set (and no subclass in play), the
-        parsed documents are persisted to a temporary store file and a
-        :class:`~repro.store.StoredCollection` comes back instead — the
+        sources are routed into a temporary store file **one at a time** —
+        parse, serialise, drop, next — and a
+        :class:`~repro.store.StoredCollection` comes back instead: the
         suite-wide switch that routes every batch through the store-backed
-        paths.
+        paths, without ever holding the whole corpus as live trees.
         """
-        documents = [
-            parse_xml(source, strip_whitespace=strip_whitespace) for source in sources
-        ]
         if cls is Collection and os.environ.get("REPRO_STORE_DEFAULT"):
             from .store.collection import StoredCollection, store_by_default
 
             if store_by_default():
-                return StoredCollection.from_documents(
-                    documents, names=names, session=session
+                return StoredCollection.from_sources(
+                    sources, strip_whitespace=strip_whitespace,
+                    names=names, session=session,
                 )
+        documents = [
+            parse_xml(source, strip_whitespace=strip_whitespace) for source in sources
+        ]
         return cls(documents, names=names, session=session)
 
     @property
@@ -485,7 +487,10 @@ class Collection:
         merged = session._merged(variables)
         plan, cache_hit = session._plan(query, engine, merged)
         effective_limits = limits if limits is not None else session.limits
-        deadline_epoch = time.time() + deadline if deadline is not None else None
+        # Monotonic instant: immune to wall-clock steps (NTP, DST, admin).
+        batch_deadline = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
         executor, ephemeral = resolve_executor(
             parallel, max_workers=max_workers, backend=backend
         )
@@ -500,7 +505,7 @@ class Collection:
                 outcome = evaluate_document(
                     runner, plan, document, index, merged or None,
                     effective_limits, select_nodes=select_nodes,
-                    deadline_epoch=deadline_epoch,
+                    deadline=batch_deadline,
                 )
                 outcomes.append(outcome)
                 if fail_fast and outcome.error is not None:
@@ -512,7 +517,7 @@ class Collection:
                 outcomes, failure_report = executor.run_batch(
                     self, plan, variables=merged or None, limits=effective_limits,
                     select_nodes=select_nodes, session=session,
-                    retry=retry, deadline_epoch=deadline_epoch,
+                    retry=retry, deadline=batch_deadline,
                     fail_fast=fail_fast,
                 )
             finally:
@@ -736,7 +741,10 @@ class SourceCollection:
         effective_limits = limits if limits is not None else session.limits
         use_stream = stream if stream is not None else stream_by_default()
         streamed = bool(use_stream and plan.streamable)
-        deadline_epoch = time.time() + deadline if deadline is not None else None
+        # Monotonic instant: immune to wall-clock steps (NTP, DST, admin).
+        batch_deadline = (
+            time.monotonic() + deadline if deadline is not None else None
+        )
         executor, ephemeral = resolve_executor(
             parallel, max_workers=max_workers, backend=backend
         )
@@ -752,7 +760,7 @@ class SourceCollection:
                     plan, source, index, merged or None, effective_limits,
                     select_nodes=select_nodes, use_stream=use_stream,
                     strip_whitespace=self.strip_whitespace,
-                    deadline_epoch=deadline_epoch,
+                    deadline=batch_deadline,
                 )
                 outcomes.append(outcome)
                 if fail_fast and outcome.error is not None:
@@ -765,7 +773,7 @@ class SourceCollection:
                     self, plan, variables=merged or None, limits=effective_limits,
                     select_nodes=select_nodes, use_stream=use_stream,
                     session=session,
-                    retry=retry, deadline_epoch=deadline_epoch,
+                    retry=retry, deadline=batch_deadline,
                     fail_fast=fail_fast,
                 )
             finally:

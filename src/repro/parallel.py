@@ -41,7 +41,9 @@ escaping the worker call is split and resubmitted with capped exponential
 backoff on a fresh pool (:class:`RetryPolicy`), degrading to in-parent
 serial evaluation when attempts run out — with every recovery step
 recorded in a :class:`FailureReport`.  A batch-level deadline
-(``deadline_epoch``, a ``time.time()`` instant so it compares across
+(``deadline``, a ``time.monotonic()`` instant — immune to NTP steps and
+wall-clock jumps; process workers are shipped the *seconds remaining* at
+submit time instead, because monotonic instants do not compare across
 processes) tightens each document's ``EvalLimits`` timeout to the time
 remaining, bounds the parent's future waits, and converts a worker that
 hangs straight through the grace window into per-document
@@ -163,22 +165,46 @@ def _deadline_error() -> ResourceLimitExceeded:
 
 
 def _tighten_for_deadline(
-    limits: Optional[EvalLimits], deadline_epoch: Optional[float]
+    limits: Optional[EvalLimits], deadline: Optional[float]
 ) -> tuple[Optional[EvalLimits], bool]:
     """Fold a batch deadline into per-document limits.
 
     Returns ``(limits, expired)``: with the deadline already past, the
-    document must not start at all and ``expired`` is true.  The deadline
-    travels as a ``time.time()`` epoch because ``time.monotonic()`` is not
-    comparable across processes.
+    document must not start at all and ``expired`` is true.  ``deadline``
+    is a ``time.monotonic()`` instant — the same clock
+    :class:`~repro.engines.base.LimitGuard` enforces timeouts on, so an
+    NTP step or wall-clock jump mid-batch cannot inflate or collapse the
+    per-document budgets.  Process workers never see this instant
+    (monotonic clocks do not compare across processes); they are shipped
+    the seconds remaining at submit time and rebase onto their own
+    monotonic clock (:func:`_rebase_deadline`).
     """
-    if deadline_epoch is None:
+    if deadline is None:
         return limits, False
-    remaining = deadline_epoch - time.time()
+    remaining = deadline - time.monotonic()
     if remaining <= 0:
         return limits, True
     base = limits if limits is not None else EvalLimits()
     return base.with_remaining(remaining), False
+
+
+def _remaining_seconds(deadline: Optional[float]) -> Optional[float]:
+    """Seconds left until a monotonic ``deadline`` (what process workers
+    are shipped at submit time); ``None`` passes through, exhaustion
+    clamps to ``0.0`` so the worker fails its documents immediately."""
+    if deadline is None:
+        return None
+    return max(0.0, deadline - time.monotonic())
+
+
+def _rebase_deadline(remaining: Optional[float]) -> Optional[float]:
+    """Turn shipped remaining-seconds into a deadline on *this* process's
+    monotonic clock (the first thing a process worker does).  Queue time
+    between submit and worker start is deliberately not charged — the
+    parent's own future-wait timeout still bounds the batch end to end."""
+    if remaining is None:
+        return None
+    return time.monotonic() + remaining
 
 
 def evaluate_document(
@@ -190,7 +216,7 @@ def evaluate_document(
     limits: Optional[EvalLimits],
     *,
     select_nodes: bool,
-    deadline_epoch: Optional[float] = None,
+    deadline: Optional[float] = None,
     attempt: int = 0,
 ) -> DocumentOutcome:
     """Evaluate one document and capture the outcome, never raising.
@@ -202,16 +228,17 @@ def evaluate_document(
     wrapped into :class:`~repro.errors.UnexpectedEvaluationError` — the
     serial, thread and process paths all report the identical error.
 
-    ``deadline_epoch`` (a ``time.time()`` epoch) tightens the limits to the
-    time remaining; a document whose turn comes after the deadline fails
-    immediately with a ``batch_deadline`` limit error instead of running.
+    ``deadline`` (a ``time.monotonic()`` instant) tightens the limits to
+    the time remaining; a document whose turn comes after the deadline
+    fails immediately with a ``batch_deadline`` limit error instead of
+    running.
     """
     started = time.perf_counter()
     try:
         faults = active_plan()
         if faults is not None:
             faults.fire("document", indices=(index,), attempt=attempt)
-        limits, expired = _tighten_for_deadline(limits, deadline_epoch)
+        limits, expired = _tighten_for_deadline(limits, deadline)
         if expired:
             return DocumentOutcome(
                 index, error=_deadline_error(), elapsed=time.perf_counter() - started
@@ -261,7 +288,7 @@ def evaluate_source(
     select_nodes: bool,
     use_stream: bool,
     strip_whitespace: bool,
-    deadline_epoch: Optional[float] = None,
+    deadline: Optional[float] = None,
     attempt: int = 0,
 ) -> DocumentOutcome:
     """Evaluate one XML *source* and capture the outcome, never raising.
@@ -287,7 +314,7 @@ def evaluate_source(
             if faults is not None:
                 faults.fire("parse", indices=(index,), attempt=attempt)
                 faults.fire("document", indices=(index,), attempt=attempt)
-            limits, expired = _tighten_for_deadline(limits, deadline_epoch)
+            limits, expired = _tighten_for_deadline(limits, deadline)
             if expired:
                 return DocumentOutcome(
                     index,
@@ -338,7 +365,7 @@ def evaluate_source(
     try:
         if faults is not None:
             faults.fire("document", indices=(index,), attempt=attempt)
-        limits, expired = _tighten_for_deadline(limits, deadline_epoch)
+        limits, expired = _tighten_for_deadline(limits, deadline)
         if expired:
             return DocumentOutcome(
                 index, error=_deadline_error(), elapsed=time.perf_counter() - started
@@ -565,7 +592,7 @@ def _process_chunk(
     variables: Optional[Mapping[str, XPathValue]],
     limits: Optional[EvalLimits],
     select_nodes: bool,
-    deadline_epoch: Optional[float] = None,
+    deadline_remaining: Optional[float] = None,
     attempt: int = 0,
     fault_plan=None,
 ) -> list[DocumentOutcome]:
@@ -578,6 +605,7 @@ def _process_chunk(
     from .session import ENGINE_CLASSES  # deferred: workers import lazily
 
     with inject(fault_plan):
+        deadline = _rebase_deadline(deadline_remaining)
         faults = active_plan()
         indices = tuple(index for index, _ in chunk)
         if faults is not None:
@@ -590,7 +618,7 @@ def _process_chunk(
             evaluate_document(
                 runner, plan, document, index, variables, limits,
                 select_nodes=select_nodes,
-                deadline_epoch=deadline_epoch, attempt=attempt,
+                deadline=deadline, attempt=attempt,
             )
             for index, document in chunk
         ]
@@ -611,7 +639,7 @@ def _process_source_chunk(
     select_nodes: bool,
     use_stream: bool,
     strip_whitespace: bool,
-    deadline_epoch: Optional[float] = None,
+    deadline_remaining: Optional[float] = None,
     attempt: int = 0,
     fault_plan=None,
 ) -> list[DocumentOutcome]:
@@ -621,6 +649,7 @@ def _process_source_chunk(
     from .session import ENGINE_CLASSES  # deferred: workers import lazily
 
     with inject(fault_plan):
+        deadline = _rebase_deadline(deadline_remaining)
         faults = active_plan()
         indices = tuple(index for index, _ in chunk)
         if faults is not None:
@@ -640,7 +669,7 @@ def _process_source_chunk(
                 engine_factory, plan, source, index, variables, limits,
                 select_nodes=select_nodes, use_stream=use_stream,
                 strip_whitespace=strip_whitespace,
-                deadline_epoch=deadline_epoch, attempt=attempt,
+                deadline=deadline, attempt=attempt,
             )
             for index, source in chunk
         ]
@@ -780,7 +809,7 @@ class ParallelExecutor:
         select_nodes: bool,
         session: "XPathSession",
         retry: Optional[RetryPolicy] = None,
-        deadline_epoch: Optional[float] = None,
+        deadline: Optional[float] = None,
         fail_fast: bool = False,
     ) -> tuple[list[DocumentOutcome], Optional[FailureReport]]:
         """Evaluate ``plan`` over every document, in parallel, in order.
@@ -799,10 +828,10 @@ class ParallelExecutor:
         fresh pool, degrading to in-parent serial evaluation when pool
         attempts run out — successful documents stay byte-identical to the
         serial path because every backend shares :func:`evaluate_document`.
-        ``deadline_epoch`` bounds the whole batch: per-document limits are
-        tightened to the remaining time, future waits time out shortly
-        after the deadline, and a worker that blows through the grace is
-        declared hung — its documents (and any still-unresolved ones) fail
+        ``deadline`` (a ``time.monotonic()`` instant) bounds the whole
+        batch: per-document limits are tightened to the remaining time,
+        future waits time out shortly after the deadline, and a worker
+        that blows through the grace is declared hung — its documents (and any still-unresolved ones) fail
         with ``batch_deadline`` limit errors instead of stalling the batch.
         ``fail_fast`` disables retries and cancels unstarted chunks after
         the first failure (cancelled entries carry
@@ -824,7 +853,7 @@ class ParallelExecutor:
                 return self._ensure_pool().submit(
                     self._thread_chunk,
                     session, plan, documents, chunk, variables, limits,
-                    select_nodes, deadline_epoch, attempt,
+                    select_nodes, deadline, attempt,
                 )
         else:
             _ensure_process_portable(variables)
@@ -841,7 +870,7 @@ class ParallelExecutor:
                     spec,
                     [(index, documents[index]) for index in chunk],
                     variables, limits, select_nodes,
-                    deadline_epoch, attempt, fault_plan,
+                    _remaining_seconds(deadline), attempt, fault_plan,
                 )
 
         def fallback(chunk: range, attempt: int) -> list[DocumentOutcome]:
@@ -850,7 +879,7 @@ class ParallelExecutor:
                 evaluate_document(
                     runner, plan, documents[index], index, variables, limits,
                     select_nodes=select_nodes,
-                    deadline_epoch=deadline_epoch, attempt=attempt,
+                    deadline=deadline, attempt=attempt,
                 )
                 for index in chunk
             ]
@@ -858,7 +887,7 @@ class ParallelExecutor:
         return self._execute(
             self._chunks(len(documents)), submit, fallback,
             retry=retry if retry is not None else self.retry,
-            deadline_epoch=deadline_epoch, fail_fast=fail_fast,
+            deadline=deadline, fail_fast=fail_fast,
         )
 
     def run_source_batch(
@@ -872,7 +901,7 @@ class ParallelExecutor:
         use_stream: bool,
         session: "XPathSession",
         retry: Optional[RetryPolicy] = None,
-        deadline_epoch: Optional[float] = None,
+        deadline: Optional[float] = None,
         fail_fast: bool = False,
     ) -> tuple[list[DocumentOutcome], Optional[FailureReport]]:
         """Evaluate ``plan`` over every XML source, in parallel, in order.
@@ -892,7 +921,7 @@ class ParallelExecutor:
                 return self._ensure_pool().submit(
                     self._thread_source_chunk,
                     session, plan, sources, chunk, variables, limits,
-                    select_nodes, use_stream, strip, deadline_epoch, attempt,
+                    select_nodes, use_stream, strip, deadline, attempt,
                 )
         else:
             _ensure_process_portable(variables)
@@ -909,7 +938,7 @@ class ParallelExecutor:
                     spec,
                     [(index, sources[index]) for index in chunk],
                     variables, limits, select_nodes, use_stream, strip,
-                    deadline_epoch, attempt, fault_plan,
+                    _remaining_seconds(deadline), attempt, fault_plan,
                 )
 
         def fallback(chunk: range, attempt: int) -> list[DocumentOutcome]:
@@ -919,7 +948,7 @@ class ParallelExecutor:
                     plan, sources[index], index, variables, limits,
                     select_nodes=select_nodes, use_stream=use_stream,
                     strip_whitespace=strip,
-                    deadline_epoch=deadline_epoch, attempt=attempt,
+                    deadline=deadline, attempt=attempt,
                 )
                 for index in chunk
             ]
@@ -927,7 +956,7 @@ class ParallelExecutor:
         return self._execute(
             self._chunks(len(sources)), submit, fallback,
             retry=retry if retry is not None else self.retry,
-            deadline_epoch=deadline_epoch, fail_fast=fail_fast,
+            deadline=deadline, fail_fast=fail_fast,
         )
 
     # ------------------------------------------------------------------
@@ -940,7 +969,7 @@ class ParallelExecutor:
         fallback,
         *,
         retry: RetryPolicy,
-        deadline_epoch: Optional[float],
+        deadline: Optional[float],
         fail_fast: bool,
     ) -> tuple[list[DocumentOutcome], Optional[FailureReport]]:
         """Submit chunks, gather outcomes, recover from lost/hung workers.
@@ -989,9 +1018,9 @@ class ParallelExecutor:
                     )
                     continue
                 timeout = None
-                if deadline_epoch is not None:
+                if deadline is not None:
                     timeout = (
-                        max(0.0, deadline_epoch - time.time()) + self.DEADLINE_GRACE
+                        max(0.0, deadline - time.monotonic()) + self.DEADLINE_GRACE
                     )
                 try:
                     outs = future.result(timeout=timeout)
@@ -1064,8 +1093,8 @@ class ParallelExecutor:
                 break
             report.backend_transitions.append(f"{self.backend} retry {attempt}")
             delay = retry.backoff(attempt)
-            if deadline_epoch is not None:
-                delay = min(delay, max(0.0, deadline_epoch - time.time()))
+            if deadline is not None:
+                delay = min(delay, max(0.0, deadline - time.monotonic()))
             if delay > 0:
                 time.sleep(delay)
             if retry.split_chunks:
@@ -1089,7 +1118,7 @@ class ParallelExecutor:
         select_nodes: bool,
         use_stream: bool,
         strip_whitespace: bool,
-        deadline_epoch: Optional[float] = None,
+        deadline: Optional[float] = None,
         attempt: int = 0,
     ) -> list[DocumentOutcome]:
         faults = active_plan()
@@ -1103,7 +1132,7 @@ class ParallelExecutor:
                 plan, sources[index], index, variables, limits,
                 select_nodes=select_nodes, use_stream=use_stream,
                 strip_whitespace=strip_whitespace,
-                deadline_epoch=deadline_epoch, attempt=attempt,
+                deadline=deadline, attempt=attempt,
             )
             for index in chunk
         ]
@@ -1117,7 +1146,7 @@ class ParallelExecutor:
         variables: Optional[Mapping[str, XPathValue]],
         limits: Optional[EvalLimits],
         select_nodes: bool,
-        deadline_epoch: Optional[float] = None,
+        deadline: Optional[float] = None,
         attempt: int = 0,
     ) -> list[DocumentOutcome]:
         faults = active_plan()
@@ -1130,7 +1159,7 @@ class ParallelExecutor:
             evaluate_document(
                 runner, plan, documents[index], index, variables, limits,
                 select_nodes=select_nodes,
-                deadline_epoch=deadline_epoch, attempt=attempt,
+                deadline=deadline, attempt=attempt,
             )
             for index in chunk
         ]

@@ -1,0 +1,47 @@
+"""Async multi-tenant query service (ISSUE 9).
+
+A stdlib-only asyncio HTTP/JSON server fronting per-tenant
+:class:`~repro.session.XPathSession` instances: each tenant owns a plan
+cache and :class:`~repro.engines.base.EvalLimits` (admission control),
+while all tenants share one read-only mmap-backed
+:class:`~repro.store.reader.DocumentStore` and one
+:class:`~repro.parallel.ParallelExecutor` process pool for batch
+endpoints.  A bounded request queue provides backpressure (429 when
+full); per-request deadlines and tenant limits map to 408/422; responses
+carry the engine / cache-hit / timing provenance of
+:class:`~repro.session.QueryResult`.
+
+Quickstart::
+
+    from repro import api
+
+    api.build_store("corpus.reproxs", documents, names)
+    api.serve("corpus.reproxs", port=8300)      # blocks; SIGTERM drains
+
+    # POST /query   {"tenant": "default", "query": "//item", "doc": 0}
+    # POST /batch   {"query": "count(//item)"}
+    # GET  /healthz   GET /stats
+"""
+
+from .config import DEFAULT_TENANT, ServerConfig, TenantConfig, load_tenants
+from .http import QueryServer, serve, serve_async
+from .service import (
+    QueryService,
+    RequestRejected,
+    canonical_json,
+    encode_value,
+)
+
+__all__ = [
+    "DEFAULT_TENANT",
+    "QueryServer",
+    "QueryService",
+    "RequestRejected",
+    "ServerConfig",
+    "TenantConfig",
+    "canonical_json",
+    "encode_value",
+    "load_tenants",
+    "serve",
+    "serve_async",
+]

@@ -1,0 +1,132 @@
+"""Configuration for the multi-tenant query service.
+
+Two frozen dataclasses: :class:`TenantConfig` (one tenant's plan cache,
+limits and default engine — the admission-control unit) and
+:class:`ServerConfig` (the shared side: store file, bind address, queue
+bound, worker count).  Both load from plain dicts so the CLI can read a
+JSON tenants file and tests can build configs inline.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from dataclasses import dataclass, field
+from typing import Optional
+
+from ..engines.base import EvalLimits
+
+#: Tenant name used when a request does not say (single-tenant setups).
+DEFAULT_TENANT = "default"
+
+
+def _limits_from_dict(data: Optional[dict]) -> EvalLimits:
+    if not data:
+        return EvalLimits()
+    unknown = set(data) - {
+        "max_result_nodes", "max_operations", "timeout_seconds"
+    }
+    if unknown:
+        raise ValueError(
+            f"unknown limit field(s): {', '.join(sorted(unknown))}"
+        )
+    return EvalLimits(
+        max_result_nodes=data.get("max_result_nodes"),
+        max_operations=data.get("max_operations"),
+        timeout_seconds=data.get("timeout_seconds"),
+    )
+
+
+@dataclass(frozen=True)
+class TenantConfig:
+    """One tenant: its own plan cache and limits, nothing shared.
+
+    ``limits`` is the tenant's admission control — every query the tenant
+    submits runs under them (tightened further by a per-request deadline).
+    ``cache_size`` bounds the tenant's private plan cache; ``engine``
+    overrides the default engine selection for the tenant's queries.
+    """
+
+    name: str
+    limits: EvalLimits = field(default_factory=EvalLimits)
+    cache_size: int = 256
+    engine: Optional[str] = None
+
+    @classmethod
+    def from_dict(cls, data: dict) -> "TenantConfig":
+        name = data.get("name")
+        if not name or not isinstance(name, str):
+            raise ValueError("tenant config requires a non-empty 'name'")
+        return cls(
+            name=name,
+            limits=_limits_from_dict(data.get("limits")),
+            cache_size=int(data.get("cache_size", 256)),
+            engine=data.get("engine"),
+        )
+
+
+@dataclass(frozen=True)
+class ServerConfig:
+    """Everything one :class:`~repro.server.service.QueryService` needs.
+
+    ``max_concurrency`` evaluations run at once; up to ``max_queue``
+    admitted requests may wait behind them.  A request arriving when
+    ``running + waiting == max_concurrency + max_queue`` is rejected with
+    429 — the bounded queue is the backpressure mechanism, per-tenant
+    limits are the fairness mechanism.
+    """
+
+    store_path: str
+    host: str = "127.0.0.1"
+    port: int = 8300
+    tenants: tuple[TenantConfig, ...] = ()
+    max_queue: int = 64
+    max_concurrency: int = 8
+    default_deadline: Optional[float] = None
+    drain_grace: float = 5.0
+
+    def __post_init__(self):
+        if self.max_queue < 0:
+            raise ValueError("max_queue must be >= 0")
+        if self.max_concurrency < 1:
+            raise ValueError("max_concurrency must be >= 1")
+        if self.drain_grace < 0:
+            raise ValueError("drain_grace must be >= 0")
+        if not self.tenants:
+            object.__setattr__(
+                self, "tenants", (TenantConfig(name=DEFAULT_TENANT),)
+            )
+        names = [tenant.name for tenant in self.tenants]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate tenant names in server config")
+
+    @classmethod
+    def from_dict(cls, data: dict, *, store_path: Optional[str] = None) -> "ServerConfig":
+        store = store_path or data.get("store_path")
+        if not store:
+            raise ValueError("server config requires 'store_path'")
+        tenants = tuple(
+            TenantConfig.from_dict(entry) for entry in data.get("tenants", [])
+        )
+        return cls(
+            store_path=os.fspath(store),
+            host=data.get("host", "127.0.0.1"),
+            port=int(data.get("port", 8300)),
+            tenants=tenants,
+            max_queue=int(data.get("max_queue", 64)),
+            max_concurrency=int(data.get("max_concurrency", 8)),
+            default_deadline=data.get("default_deadline"),
+            drain_grace=float(data.get("drain_grace", 5.0)),
+        )
+
+
+def load_tenants(path: str | os.PathLike) -> tuple[TenantConfig, ...]:
+    """Read a tenants JSON file: a list of tenant dicts, or a dict with a
+    ``"tenants"`` key (the full server-config shape also works)."""
+    with open(os.fspath(path), "r", encoding="utf-8") as handle:
+        data = json.load(handle)
+    if isinstance(data, dict):
+        data = data.get("tenants", [])
+    if not isinstance(data, list):
+        raise ValueError("tenants file must hold a list of tenant objects")
+    return tuple(TenantConfig.from_dict(entry) for entry in data)

@@ -1,0 +1,437 @@
+"""The synchronous core of the query service — everything but sockets.
+
+:class:`QueryService` owns the shared read-only
+:class:`~repro.store.reader.DocumentStore` (opened once, via
+:func:`~repro.store.reader.open_cached`), one per-tenant
+:class:`~repro.session.XPathSession` each (private plan cache, private
+:class:`~repro.engines.base.EvalLimits`, private stats), and one shared
+:class:`~repro.parallel.ParallelExecutor` process pool for batch requests.
+It exposes plain ``execute*`` methods returning ``(http_status, payload)``
+pairs, so the whole admission / evaluation / status-mapping story is
+testable without a running event loop; :mod:`repro.server.http` is a thin
+asyncio shell around it.
+
+Status mapping (the contract the HTTP layer and the load generator rely
+on):
+
+========  ======================================================
+status    meaning
+========  ======================================================
+200       evaluated; payload carries value + provenance metadata
+400       malformed request / XPath syntax or type error
+404       unknown tenant or document
+408       deadline / timeout breach (``timeout_seconds``-family)
+422       other per-tenant resource limit breach (ops / nodes)
+429       bounded request queue full — back off and retry
+503       server draining (shutdown in progress)
+500       unexpected internal error
+========  ======================================================
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Optional
+
+from ..engines.base import EvalLimits
+from ..errors import (
+    ReproError,
+    ResourceLimitExceeded,
+    XPathSyntaxError,
+    XPathTypeError,
+)
+from ..parallel import ParallelExecutor
+from ..session import XPathSession
+from ..store.collection import StoredCollection
+from ..store.reader import open_cached
+from ..xpath.values import NodeSet
+from .config import ServerConfig, TenantConfig
+
+#: ``ResourceLimitExceeded.limit`` values that mean "out of time" — mapped
+#: to 408 (the client's deadline elapsed) rather than 422 (the tenant's
+#: work budget was exceeded).
+_TIME_LIMITS = frozenset({"timeout_seconds", "batch_deadline"})
+
+
+class RequestRejected(Exception):
+    """An admission / routing rejection with its HTTP status attached."""
+
+    def __init__(self, status: int, code: str, message: str):
+        super().__init__(message)
+        self.status = status
+        self.code = code
+        self.message = message
+
+    def payload(self) -> dict:
+        return {"error": {"code": self.code, "message": self.message}}
+
+
+def encode_value(value: Any) -> Any:
+    """Canonical JSON-compatible encoding of an XPath value.
+
+    The single encoder both the server responses and the parity tests go
+    through: scalars pass through, node-sets become per-node records in
+    document order.  Byte-identity of two responses reduces to
+    value-identity of the underlying results.
+    """
+    if isinstance(value, NodeSet):
+        return [
+            {
+                "order": node.order,
+                "type": node.node_type.value,
+                "name": node.name,
+                "value": node.value,
+            }
+            for node in value.in_document_order()
+        ]
+    return value
+
+
+def canonical_json(payload: Any) -> bytes:
+    """The service's one JSON serialisation (stable separators/ordering)."""
+    return json.dumps(payload, separators=(",", ":"), sort_keys=True).encode(
+        "utf-8"
+    )
+
+
+class _Tenant:
+    """A tenant's isolated evaluation state."""
+
+    def __init__(self, config: TenantConfig, store):
+        self.config = config
+        self.session = XPathSession(
+            engine=config.engine,
+            cache_size=config.cache_size,
+            limits=config.limits,
+        )
+        # Store-backed view bound to the tenant session: batches share the
+        # tenant's plan cache and stats but the mapped file with everyone.
+        self.collection = StoredCollection(store, session=self.session)
+
+
+class QueryService:
+    """Multi-tenant query execution over one shared document store."""
+
+    def __init__(self, config: ServerConfig):
+        self.config = config
+        self.store = open_cached(config.store_path)
+        self._tenants = {
+            tenant.name: _Tenant(tenant, self.store)
+            for tenant in config.tenants
+        }
+        self._names = {name: i for i, name in enumerate(self.store.names)}
+        self._lock = threading.Lock()
+        self._in_flight = 0
+        self._draining = False
+        self._executor: Optional[ParallelExecutor] = None
+        self.counters = {
+            "requests": 0,
+            "rejected_queue": 0,
+            "rejected_limits": 0,
+            "rejected_deadline": 0,
+            "errors": 0,
+        }
+
+    # ------------------------------------------------------------------
+    # Admission
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Admitted requests the service holds at once (running + queued)."""
+        return self.config.max_concurrency + self.config.max_queue
+
+    def admit(self) -> None:
+        """Claim an admission slot or raise 429/503; pair with release()."""
+        with self._lock:
+            if self._draining:
+                raise RequestRejected(
+                    503, "draining", "server is draining; retry elsewhere"
+                )
+            if self._in_flight >= self.capacity:
+                self.counters["rejected_queue"] += 1
+                raise RequestRejected(
+                    429, "queue_full",
+                    f"request queue full ({self.capacity} in flight)",
+                )
+            self._in_flight += 1
+
+    def release(self) -> None:
+        with self._lock:
+            self._in_flight -= 1
+
+    @property
+    def in_flight(self) -> int:
+        with self._lock:
+            return self._in_flight
+
+    # ------------------------------------------------------------------
+    # Request plumbing
+    # ------------------------------------------------------------------
+    def _tenant(self, payload: dict) -> _Tenant:
+        name = payload.get("tenant", "default")
+        tenant = self._tenants.get(name)
+        if tenant is None:
+            raise RequestRejected(404, "unknown_tenant", f"unknown tenant {name!r}")
+        return tenant
+
+    def _document(self, payload: dict):
+        doc = payload.get("doc", 0)
+        if isinstance(doc, str):
+            index = self._names.get(doc)
+            if index is None:
+                raise RequestRejected(
+                    404, "unknown_document", f"no document named {doc!r}"
+                )
+        elif isinstance(doc, int) and not isinstance(doc, bool):
+            if not 0 <= doc < len(self.store):
+                raise RequestRejected(
+                    404, "unknown_document",
+                    f"document index {doc} out of range "
+                    f"(store holds {len(self.store)})",
+                )
+            index = doc
+        else:
+            raise RequestRejected(
+                400, "bad_request", "'doc' must be an index or a name"
+            )
+        return index, self.store.document_at(index)
+
+    @staticmethod
+    def _query(payload: dict) -> str:
+        query = payload.get("query")
+        if not query or not isinstance(query, str):
+            raise RequestRejected(
+                400, "bad_request", "request requires a non-empty 'query'"
+            )
+        return query
+
+    def _deadline_limits(
+        self, tenant: _Tenant, payload: dict
+    ) -> tuple[EvalLimits, Optional[float]]:
+        deadline = payload.get("deadline", self.config.default_deadline)
+        if deadline is None:
+            return tenant.config.limits, None
+        if not isinstance(deadline, (int, float)) or deadline <= 0:
+            raise RequestRejected(
+                400, "bad_request", "'deadline' must be a positive number"
+            )
+        return tenant.config.limits.with_remaining(float(deadline)), float(deadline)
+
+    @staticmethod
+    def _error_status(error: ReproError) -> tuple[int, str]:
+        if isinstance(error, ResourceLimitExceeded):
+            if error.limit in _TIME_LIMITS:
+                return 408, "deadline_exceeded"
+            return 422, "limit_exceeded"
+        if isinstance(error, (XPathSyntaxError, XPathTypeError)):
+            return 400, "bad_query"
+        return 400, "evaluation_error"
+
+    # ------------------------------------------------------------------
+    # Endpoints
+    # ------------------------------------------------------------------
+    def execute(self, payload: dict) -> tuple[int, dict]:
+        """``POST /query``: one query against one stored document."""
+        started = time.perf_counter()
+        try:
+            tenant = self._tenant(payload)
+            query = self._query(payload)
+            index, handle = self._document(payload)
+            limits, deadline = self._deadline_limits(tenant, payload)
+            variables = payload.get("variables")
+            if variables is not None and not isinstance(variables, dict):
+                raise RequestRejected(
+                    400, "bad_request", "'variables' must be an object"
+                )
+            result = tenant.session.run(
+                query, handle, variables=variables, limits=limits
+            )
+        except RequestRejected as rejected:
+            return rejected.status, rejected.payload()
+        except ReproError as error:
+            status, code = self._error_status(error)
+            with self._lock:
+                if status == 408:
+                    self.counters["rejected_deadline"] += 1
+                elif status == 422:
+                    self.counters["rejected_limits"] += 1
+                else:
+                    self.counters["errors"] += 1
+            return status, {
+                "error": {"code": code, "message": str(error)},
+                "meta": {
+                    "tenant": payload.get("tenant", "default"),
+                    "deadline": payload.get(
+                        "deadline", self.config.default_deadline
+                    ),
+                },
+            }
+        with self._lock:
+            self.counters["requests"] += 1
+        return 200, {
+            "value": encode_value(result.value),
+            "meta": {
+                "tenant": tenant.config.name,
+                "doc": index,
+                "engine": result.engine_name,
+                "cache_hit": result.cache_hit,
+                "fragment": result.fragment_name,
+                "elapsed_ms": round(result.elapsed_seconds * 1000.0, 3),
+                "total_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            },
+        }
+
+    def execute_batch(self, payload: dict) -> tuple[int, dict]:
+        """``POST /batch``: one query over every stored document, through
+        the shared process pool."""
+        started = time.perf_counter()
+        try:
+            tenant = self._tenant(payload)
+            query = self._query(payload)
+            limits, deadline = self._deadline_limits(tenant, payload)
+            select = bool(payload.get("select", False))
+            runner = (
+                tenant.collection.select if select
+                else tenant.collection.evaluate
+            )
+            batch = runner(
+                query,
+                limits=limits,
+                parallel=self._batch_executor(),
+                deadline=deadline,
+            )
+        except RequestRejected as rejected:
+            return rejected.status, rejected.payload()
+        except ReproError as error:
+            status, code = self._error_status(error)
+            with self._lock:
+                self.counters["errors"] += 1
+            return status, {"error": {"code": code, "message": str(error)}}
+        results = []
+        for outcome in batch:
+            if outcome.ok:
+                value = (
+                    NodeSet(outcome.nodes) if outcome.nodes is not None
+                    else outcome.value
+                )
+                results.append(
+                    {
+                        "doc": outcome.name,
+                        "ok": True,
+                        "value": encode_value(value),
+                    }
+                )
+            else:
+                status, code = self._error_status(outcome.error)
+                results.append(
+                    {
+                        "doc": outcome.name,
+                        "ok": False,
+                        "error": {
+                            "code": code,
+                            "status": status,
+                            "message": str(outcome.error),
+                        },
+                    }
+                )
+        with self._lock:
+            self.counters["requests"] += 1
+        return 200, {
+            "results": results,
+            "meta": {
+                "tenant": tenant.config.name,
+                "documents": len(results),
+                "ok": batch.ok,
+                "cache_hit": batch.cache_hit,
+                "engine": batch.plan.engine_name,
+                "total_ms": round((time.perf_counter() - started) * 1000.0, 3),
+            },
+        }
+
+    def _batch_executor(self) -> ParallelExecutor:
+        """The shared process pool, created on first batch request."""
+        with self._lock:
+            if self._executor is None:
+                self._executor = ParallelExecutor(
+                    backend="process",
+                    max_workers=self.config.max_concurrency,
+                )
+            return self._executor
+
+    def warm_batch_pool(self) -> None:
+        """Fork every process-pool worker *before* any client connects.
+
+        Forked children inherit every open file descriptor.  If the pool
+        forked lazily on the first ``/batch`` request, the long-lived
+        workers would capture that request's client socket: the client
+        would never see EOF after the server closed its side, because the
+        workers still hold a duplicate.  Forking while the server owns no
+        sockets removes the whole class of leak.  (The executor's fault
+        recovery can still fork a replacement pool mid-traffic — a
+        deliberate trade: worker loss is rare, and responses are
+        Content-Length framed so leaked duplicates only delay EOF.)
+        """
+        from ..collection import Collection
+        from ..xmlmodel.parser import parse_xml
+
+        executor = self._batch_executor()
+        # One trivial document per worker, chunked 1:1, so the pool spawns
+        # its full complement now (workers fork per submitted chunk).
+        warmup = Collection(
+            [parse_xml("<warm/>") for _ in range(self.config.max_concurrency)],
+            session=XPathSession(),
+        )
+        warmup.evaluate("count(/)", parallel=executor)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def stats_payload(self) -> dict:
+        with self._lock:
+            counters = dict(self.counters)
+            in_flight = self._in_flight
+            draining = self._draining
+        return {
+            "store": {
+                "path": self.store.path,
+                "documents": len(self.store),
+            },
+            "in_flight": in_flight,
+            "capacity": self.capacity,
+            "draining": draining,
+            "counters": counters,
+            "tenants": {
+                name: tenant.session.stats.as_dict()
+                for name, tenant in self._tenants.items()
+            },
+        }
+
+    def health_payload(self) -> tuple[int, dict]:
+        with self._lock:
+            draining = self._draining
+        if draining:
+            return 503, {"status": "draining"}
+        return 200, {"status": "ok"}
+
+    # ------------------------------------------------------------------
+    # Lifecycle
+    # ------------------------------------------------------------------
+    def start_draining(self) -> None:
+        """Refuse new admissions; in-flight requests run to completion."""
+        with self._lock:
+            self._draining = True
+
+    @property
+    def draining(self) -> bool:
+        with self._lock:
+            return self._draining
+
+    def close(self) -> None:
+        """Release the shared process pool (the store cache keeps the
+        mapping — it is shared process-wide via ``open_cached``)."""
+        with self._lock:
+            executor, self._executor = self._executor, None
+        if executor is not None:
+            executor.close()

@@ -19,7 +19,13 @@ Quickstart::
 from ..errors import StoreCorruptError
 from .collection import STORE_DEFAULT_ENV, StoredCollection, store_by_default
 from .format import MAGIC, VERSION
-from .reader import DocumentStore, StoredDocument, StoredIndexArrays, open_cached
+from .reader import (
+    DocumentStore,
+    StoredDocument,
+    StoredIndexArrays,
+    invalidate,
+    open_cached,
+)
 from .writer import build_store, write_store
 
 __all__ = [
@@ -32,6 +38,7 @@ __all__ = [
     "StoredDocument",
     "StoredIndexArrays",
     "build_store",
+    "invalidate",
     "open_cached",
     "store_by_default",
     "write_store",

@@ -124,14 +124,21 @@ class StoredCollection(Collection):
         session=None,
         path: Optional[str | os.PathLike] = None,
     ) -> "StoredCollection":
-        """Parse XML texts, persist them, and return the stored collection."""
+        """Parse XML texts, persist them, and return the stored collection.
+
+        Sources are parsed **one at a time** and streamed straight into the
+        store writer: each tree is serialised and dropped before the next
+        source is parsed, so peak memory is a single tree — the whole point
+        of the store's lazy ``materialize()`` story.
+        """
         from ..xmlmodel.parser import parse_xml
 
-        documents = [
-            parse_xml(source, strip_whitespace=strip_whitespace) for source in sources
-        ]
+        parsed = (
+            parse_xml(source, strip_whitespace=strip_whitespace)
+            for source in sources
+        )
         return cls.from_documents(
-            documents, names=names, path=path, session=session
+            parsed, names=names, path=path, session=session
         )
 
     # ------------------------------------------------------------------

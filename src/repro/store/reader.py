@@ -29,6 +29,7 @@ import struct
 import threading
 import zlib
 from bisect import bisect_left, bisect_right
+from collections import OrderedDict
 from typing import Optional, Sequence
 
 from ..errors import StoreCorruptError
@@ -643,7 +644,20 @@ class DocumentStore:
 
     # -- lifetime -------------------------------------------------------
     def close(self) -> None:
-        """Unmap the file, or defer to GC if column views are still live."""
+        """Unmap the file, or defer to GC if column views are still live.
+
+        The store's own internal view (the string-offsets column) is
+        released first, so a store nobody has materialised documents from
+        unmaps deterministically — before this, every ``close()`` deferred
+        to garbage collection because of that one internal export.
+        """
+        offsets = self._string_offsets
+        if offsets is not None:
+            self._string_offsets = None
+            try:
+                offsets.release()
+            except BufferError:  # pragma: no cover - defensive
+                pass
         try:
             self._view.release()
         except BufferError:  # pragma: no cover - depends on caller's views
@@ -668,10 +682,31 @@ class DocumentStore:
 # ----------------------------------------------------------------------
 # Process-wide reopen cache (the unpickle path of store-origin documents)
 # ----------------------------------------------------------------------
-#: path -> (mtime_ns, size, store).  Keyed on file identity so a rebuilt
-#: store at the same path is reopened, not served stale.
-_STORE_CACHE: dict[str, tuple[int, int, DocumentStore]] = {}
+#: path -> (mtime_ns, size, store), in least-recently-used order.  Keyed on
+#: file identity so a rebuilt store at the same path is reopened, not served
+#: stale — and the superseded mapping is *closed*, not merely dropped: every
+#: rebuild used to leak one mmap + file descriptor for the life of the
+#: process.  ``close()`` is safe on a store whose column views are still
+#: exported (the unmap defers to garbage collection); a handle into a
+#: superseded store is stale by definition and may raise on later access.
+_STORE_CACHE: "OrderedDict[str, tuple[int, int, DocumentStore]]" = OrderedDict()
 _STORE_CACHE_LOCK = threading.Lock()
+
+#: Environment variable bounding the cache; default :data:`STORE_CACHE_SIZE`.
+STORE_CACHE_SIZE_ENV = "REPRO_STORE_CACHE_SIZE"
+
+#: Default bound on distinct store files cached per process.  Long-lived
+#: servers open one store and never feel this; the bound exists so a process
+#: that walks many store files cannot accumulate unbounded mappings.
+STORE_CACHE_SIZE = 16
+
+
+def _store_cache_limit() -> int:
+    try:
+        limit = int(os.environ.get(STORE_CACHE_SIZE_ENV, ""))
+    except ValueError:
+        return STORE_CACHE_SIZE
+    return max(1, limit) if limit else STORE_CACHE_SIZE
 
 
 def open_cached(path: str | os.PathLike) -> DocumentStore:
@@ -680,7 +715,11 @@ def open_cached(path: str | os.PathLike) -> DocumentStore:
     This is what worker processes hit when a chunk of stored documents
     arrives: every document of every chunk from the same store shares a
     single mmap, so shipping N documents costs N tiny ``(path, position)``
-    pickles and one map.
+    pickles and one map.  The cache is bounded (:data:`STORE_CACHE_SIZE`,
+    overridable via :data:`STORE_CACHE_SIZE_ENV`): the least recently used
+    mapping is closed when the bound is exceeded, as is a mapping
+    superseded by a rebuilt file (changed ``(mtime_ns, size)`` signature)
+    and the losing mapping of a concurrent-open race.
     """
     path = os.path.abspath(os.fspath(path))
     stat = os.stat(path)
@@ -688,14 +727,49 @@ def open_cached(path: str | os.PathLike) -> DocumentStore:
     with _STORE_CACHE_LOCK:
         cached = _STORE_CACHE.get(path)
         if cached is not None and (cached[0], cached[1]) == signature:
+            _STORE_CACHE.move_to_end(path)
             return cached[2]
     store = DocumentStore.open(path)
+    stale: list[DocumentStore] = []
     with _STORE_CACHE_LOCK:
         cached = _STORE_CACHE.get(path)
         if cached is not None and (cached[0], cached[1]) == signature:
-            return cached[2]
-        _STORE_CACHE[path] = (signature[0], signature[1], store)
+            # Lost the double-checked race: another thread published this
+            # signature first.  Our freshly opened mapping is redundant —
+            # close it instead of dropping it unmapped.
+            stale.append(store)
+            store = cached[2]
+            _STORE_CACHE.move_to_end(path)
+        else:
+            if cached is not None:
+                # The file was rebuilt under the same path: the superseded
+                # mapping would otherwise leak for the process lifetime.
+                stale.append(cached[2])
+            _STORE_CACHE[path] = (signature[0], signature[1], store)
+            _STORE_CACHE.move_to_end(path)
+            limit = _store_cache_limit()
+            while len(_STORE_CACHE) > limit:
+                _, (_, _, evicted) = _STORE_CACHE.popitem(last=False)
+                stale.append(evicted)
+    for superseded in stale:
+        superseded.close()
     return store
+
+
+def invalidate(path: str | os.PathLike) -> bool:
+    """Drop (and close) the cached mapping for ``path``, if any.
+
+    Returns ``True`` when a mapping was cached and has been closed.  Use
+    after deleting or deliberately rewriting a store file in-process; the
+    next :func:`open_cached` call maps the file afresh.
+    """
+    path = os.path.abspath(os.fspath(path))
+    with _STORE_CACHE_LOCK:
+        cached = _STORE_CACHE.pop(path, None)
+    if cached is None:
+        return False
+    cached[2].close()
+    return True
 
 
 def _reopen_stored(path: str, position: int) -> StoredDocument:

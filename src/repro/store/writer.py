@@ -124,22 +124,32 @@ def _document_columns(document: Document, strings: _StringTable):
 
 def write_store(
     stream: IO[bytes],
-    documents: Sequence[Document],
+    documents: Iterable[Document],
     names: Optional[Sequence[Optional[str]]] = None,
 ) -> None:
-    """Serialise ``documents`` into ``stream`` (seekable, binary, writable)."""
-    if names is None:
-        names = [None] * len(documents)
-    if len(names) != len(documents):
-        raise ValueError("names and documents must have the same length")
+    """Serialise ``documents`` into ``stream`` (seekable, binary, writable).
 
+    ``documents`` may be any iterable — including a generator — and is
+    consumed one document at a time: each document's columns are streamed
+    out before the next is pulled, so peak memory is a single document
+    plus the shared string table, never the whole corpus.
+    """
     strings = _StringTable()
     writer = _Writer(stream)
     writer.write(b"\x00" * fmt.HEADER_SIZE)  # placeholder, rewritten below
     writer.crc = 0  # the payload CRC covers everything *after* the header
 
     entries: list[tuple[int, ...]] = []
-    for document, doc_name in zip(documents, names):
+    for position, document in enumerate(documents):
+        if names is None:
+            doc_name = None
+        else:
+            try:
+                doc_name = names[position]
+            except IndexError:
+                raise ValueError(
+                    "names and documents must have the same length"
+                ) from None
         if not isinstance(document, Document):
             raise TypeError(f"expected a Document, got {type(document).__name__}")
         document._require_frozen()
@@ -200,6 +210,9 @@ def write_store(
             )
         )
 
+    if names is not None and len(names) != len(entries):
+        raise ValueError("names and documents must have the same length")
+
     offsets_payload, blob_payload = strings.sections()
     string_count = len(offsets_payload) // 8 - 1
     offsets_off = writer.write(offsets_payload)
@@ -223,7 +236,7 @@ def write_store(
         fmt.MAGIC,
         fmt.VERSION,
         fmt.ENDIAN_MARK,
-        len(documents),
+        len(entries),
         toc_off,
         len(toc_bytes),
         zlib.crc32(toc_bytes),
@@ -244,9 +257,10 @@ def build_store(
     """Write ``documents`` to a new store file at ``path``.
 
     The file is written to a sibling temporary name and moved into place, so
-    readers never observe a half-written store.  Returns the final path.
+    readers never observe a half-written store.  ``documents`` may be a
+    generator — it is streamed straight into :func:`write_store` without
+    being materialised.  Returns the final path.
     """
-    documents = list(documents)
     final = os.fspath(path)
     tmp = f"{final}.tmp.{os.getpid()}"
     try:

@@ -375,6 +375,51 @@ class TestDeadline:
             time.sleep(0.05)
         assert not leaked, f"hung workers survived _abandon_pool: {leaked}"
 
+    def test_deadline_survives_wall_clock_jump(self, monkeypatch):
+        """Regression (ISSUE 9): batch deadlines were computed on
+        ``time.time()`` while ``LimitGuard`` measures on
+        ``time.monotonic()``, so a wall-clock step (NTP correction, DST,
+        an admin ``date`` call) mid-batch inflated or collapsed every
+        per-document budget.  Deadlines now live entirely on the
+        monotonic clock: a one-hour forward jump right after the deadline
+        is set must not fail a batch with 30 s of budget."""
+        session = XPathSession()
+        collection = session.parse_collection(SOURCES)
+        serial = collection.select(self.QUERY)
+        base = time.time()
+        calls = [0]
+
+        def jumping_time():
+            calls[0] += 1
+            return base if calls[0] == 1 else base + 3600.0
+
+        monkeypatch.setattr(time, "time", jumping_time)
+        batch = collection.select(self.QUERY, deadline=30.0)
+        assert batch.ok, (
+            "a wall-clock jump collapsed the monotonic batch deadline"
+        )
+        assert _shape(batch) == _shape(serial)
+
+    def test_deadline_survives_wall_clock_jump_threaded(self, monkeypatch):
+        """Same regression through the thread backend: the executor's
+        future-wait timeout and retry backoff clamp must also ignore the
+        wall clock."""
+        session = XPathSession()
+        collection = session.parse_collection(SOURCES)
+        serial = collection.select(self.QUERY)
+        base = time.time()
+        calls = [0]
+
+        def jumping_time():
+            calls[0] += 1
+            return base if calls[0] == 1 else base + 3600.0
+
+        monkeypatch.setattr(time, "time", jumping_time)
+        with ParallelExecutor(backend="thread", max_workers=2) as ex:
+            batch = collection.select(self.QUERY, parallel=ex, deadline=30.0)
+        assert batch.ok
+        assert _shape(batch) == _shape(serial)
+
     def test_serial_deadline_bounds_the_batch(self):
         session = XPathSession()
         collection = session.parse_collection(SOURCES)

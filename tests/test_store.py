@@ -27,8 +27,11 @@ Five fronts:
 
 from __future__ import annotations
 
+import gc
 import os
 import pickle
+import threading
+import weakref
 
 import pytest
 
@@ -43,6 +46,7 @@ from repro.store import (
     DocumentStore,
     StoredCollection,
     build_store,
+    invalidate,
     open_cached,
 )
 from repro.store import format as store_format
@@ -352,6 +356,100 @@ class TestShipping:
                 ]
 
 
+class TestStoreCacheLifetime:
+    """Regression tests for ``open_cached`` mapping lifetime (ISSUE 9).
+
+    A rebuilt store file used to leave the superseded mapping in
+    ``_STORE_CACHE`` without ``close()`` — one leaked mmap + fd per
+    rebuild — and the loser of the double-checked-lock race was dropped
+    unmapped.  Both must now be closed, ``invalidate`` must exist, and
+    the cache must be bounded.
+    """
+
+    @staticmethod
+    def _build(path, payload="<r><x v='1'/></r>"):
+        build_store(path, [parse_xml(payload)])
+
+    def test_rebuild_closes_superseded_mapping(self, tmp_path):
+        path = str(tmp_path / "rebuild.reproxs")
+        self._build(path)
+        first = open_cached(path)
+        assert not first._mmap.closed
+        # Rebuild with different content (and size, so the signature
+        # changes even on coarse-mtime filesystems).
+        self._build(path, "<r>" + "<x pad='yes'/>" * 8 + "</r>")
+        second = open_cached(path)
+        assert second is not first
+        assert first._mmap.closed, "superseded mapping leaked on rebuild"
+        assert not second._mmap.closed
+        assert len(second.document_at(0).materialize()) > len(
+            parse_xml("<r><x v='1'/></r>")
+        )
+        invalidate(path)
+
+    def test_invalidate_closes_and_forgets(self, tmp_path):
+        path = str(tmp_path / "inv.reproxs")
+        self._build(path)
+        store = open_cached(path)
+        assert invalidate(path) is True
+        assert store._mmap.closed
+        assert invalidate(path) is False
+        fresh = open_cached(path)
+        assert fresh is not store
+        assert invalidate(path) is True
+
+    def test_cache_is_bounded(self, tmp_path, monkeypatch):
+        monkeypatch.setenv("REPRO_STORE_CACHE_SIZE", "2")
+        stores = []
+        for index in range(3):
+            path = str(tmp_path / f"bounded{index}.reproxs")
+            self._build(path)
+            stores.append(open_cached(path))
+        assert stores[0]._mmap.closed, "LRU mapping survived past the bound"
+        assert not stores[1]._mmap.closed
+        assert not stores[2]._mmap.closed
+        for index in (1, 2):
+            invalidate(str(tmp_path / f"bounded{index}.reproxs"))
+
+    def test_concurrent_open_cached_closes_race_losers(self, tmp_path, monkeypatch):
+        path = str(tmp_path / "race.reproxs")
+        self._build(path)
+        opened: list[DocumentStore] = []
+        opened_lock = threading.Lock()
+        real_open = DocumentStore.open
+
+        def tracking_open(target):
+            store = real_open(target)
+            with opened_lock:
+                opened.append(store)
+            return store
+
+        monkeypatch.setattr(DocumentStore, "open", staticmethod(tracking_open))
+        barrier = threading.Barrier(8)
+        results: list[DocumentStore] = []
+        results_lock = threading.Lock()
+
+        def worker():
+            barrier.wait()
+            store = open_cached(path)
+            with results_lock:
+                results.append(store)
+
+        threads = [threading.Thread(target=worker) for _ in range(8)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(results) == 8
+        assert len({id(store) for store in results}) == 1
+        winner = results[0]
+        losers = [store for store in opened if store is not winner]
+        assert all(store._mmap.closed for store in losers), (
+            "race-losing mappings were dropped unmapped"
+        )
+        invalidate(path)
+
+
 class TestIntegration:
     def test_api_build_and_open_store(self, tmp_path):
         path = str(tmp_path / "api.reproxs")
@@ -396,6 +494,39 @@ class TestIntegration:
         monkeypatch.setenv("REPRO_STORE_DEFAULT", "0")
         collection = Collection.from_sources(RICH_SOURCES[:2])
         assert not isinstance(collection, StoredCollection)
+
+    def test_store_default_routes_sources_one_at_a_time(self, monkeypatch):
+        """Regression (ISSUE 9): all sources used to be parsed into live
+        trees *before* the store-routing decision, so store-backed
+        collections paid peak memory for N simultaneous trees.  Sources
+        now stream into the store build one at a time — at most two trees
+        are ever alive at once (the one being serialised plus the one the
+        generator just parsed)."""
+        from repro.xmlmodel import parser as parser_mod
+
+        real_parse = parser_mod.parse_xml
+        refs: list[weakref.ref] = []
+        peak = [0]
+
+        def tracking_parse(source, **kwargs):
+            document = real_parse(source, **kwargs)
+            refs.append(weakref.ref(document))
+            gc.collect()
+            alive = sum(1 for ref in refs if ref() is not None)
+            peak[0] = max(peak[0], alive)
+            return document
+
+        monkeypatch.setattr(parser_mod, "parse_xml", tracking_parse)
+        monkeypatch.setenv("REPRO_STORE_DEFAULT", "1")
+        sources = [f"<r><x n='{i}'/></r>" for i in range(6)]
+        collection = Collection.from_sources(sources)
+        assert isinstance(collection, StoredCollection)
+        assert len(refs) == 6
+        assert peak[0] <= 2, (
+            f"{peak[0]} trees were alive at once; store routing is eager"
+        )
+        batch = collection.evaluate("count(//x)")
+        assert batch.ok and [r.value for r in batch] == [1.0] * 6
 
 
 @pytest.fixture
