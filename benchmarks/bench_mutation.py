@@ -1,0 +1,165 @@
+"""Benchmarks for in-place document mutation (ISSUE 10).
+
+The claim: once a document is loaded and indexed, answering a query after
+an edit via the mutation API — in-place edit, incremental index repair,
+lazy array re-stamp — is ≥REPRO_MUTATION_SPEEDUP_BAR× faster than the
+only pre-ISSUE-10 alternative, rebuilding the world: serialize the tree,
+re-parse the text, re-index from scratch, then query.
+
+The workload is a DBLP-style document
+(:func:`~repro.workloads.documents.doc_dblp_source`); each measured call
+performs one steady-state edit cycle (remove the previously inserted
+article, append a fresh one — document size stays fixed) and then runs
+the headline compiled query.  Both strategies sustain identical edit
+streams on their own copy and must return identical answers.
+
+Run with ``PYTHONPATH=src python -m pytest benchmarks/bench_mutation.py -s``;
+``--benchmark-disable`` gives the smoke run CI uses.  Set
+REPRO_BENCH_RECORD=1 to append the measurements to BENCH_mutation.json.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.plan import plan_for
+from repro.workloads.documents import doc_dblp_source
+from repro.workloads.edits import build_node
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import serialize
+
+SPEEDUP_BAR = float(os.environ.get("REPRO_MUTATION_SPEEDUP_BAR", "5.0"))
+
+#: ~13 nodes per article; 320 articles ≈ 4·10^3 nodes — big enough that
+#: serialize→reparse→reindex costs real time, small enough for CI smoke.
+ARTICLES = int(os.environ.get("REPRO_MUTATION_BENCH_ARTICLES", "320"))
+
+QUERY = "//article[@mdate]"
+PLAN = plan_for(QUERY, engine="compiled", cache=None)
+
+
+class _EditStream:
+    """Deterministic steady-state edit cycle against one document copy.
+
+    Each step removes the article inserted by the previous step and
+    appends a fresh one, so the document's size is constant while every
+    step exercises detach + attach repair and a generation bump.
+    """
+
+    def __init__(self):
+        self.document = parse_xml(doc_dblp_source(ARTICLES, seed=11))
+        self.document.index  # pre-build: steady state starts indexed
+        self._last = None
+        self._counter = 0
+
+    def step(self) -> None:
+        if self._last is not None:
+            self.document.remove(self._last)
+        self._counter += 1
+        fragment = build_node(
+            (
+                "article",
+                {"mdate": f"2026-08-{self._counter % 28 + 1:02d}",
+                 "key": f"bench/m{self._counter}"},
+                (("title", {}, (f"mutation benchmark {self._counter}",)),),
+            )
+        )
+        self._last = self.document.insert_child(
+            self.document.document_element, fragment
+        )
+
+
+def _edit_and_requery(stream: _EditStream) -> list[int]:
+    """The mutation path: edit in place, query the repaired index."""
+    stream.step()
+    return [node.order for node in PLAN.select(stream.document)]
+
+
+def _edit_and_rebuild(stream: _EditStream) -> list[int]:
+    """The pre-mutation path: edit, then serialize → reparse → reindex →
+    query a from-scratch twin."""
+    stream.step()
+    fresh = parse_xml(serialize(stream.document))
+    return [node.order for node in PLAN.select(fresh)]
+
+
+def test_edit_requery_workload(benchmark):
+    stream = _EditStream()
+    benchmark(lambda: _edit_and_requery(stream))
+
+
+def test_edit_rebuild_workload(benchmark):
+    stream = _EditStream()
+    benchmark(lambda: _edit_and_rebuild(stream))
+
+
+def _measure(callable_) -> float:
+    """Best-of-3 mean, with repetitions sized from a single probe so the
+    slow rebuild side doesn't stretch the run (~0.3s per round)."""
+    start = time.perf_counter()
+    callable_()
+    probe = time.perf_counter() - start
+    repetitions = max(1, min(50, int(0.3 / max(probe, 1e-9))))
+    best = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(repetitions):
+            callable_()
+        best = min(best, (time.perf_counter() - start) / repetitions)
+    return best
+
+
+def test_edit_requery_beats_serialize_reparse():
+    """Edit + re-query ≥SPEEDUP_BAR× faster than serialize → reparse →
+    reindex → query, identical answers under identical edit streams."""
+    fast, slow = _EditStream(), _EditStream()
+    assert _edit_and_requery(fast) == _edit_and_rebuild(slow)
+    fast_s = _measure(lambda: _edit_and_requery(fast))
+    slow_s = _measure(lambda: _edit_and_rebuild(slow))
+    # The streams stayed in lockstep (one extra fast step per differing
+    # repetition count is size-neutral), so the answers still agree.
+    assert _edit_and_requery(fast) == _edit_and_rebuild(slow)
+    speedup = slow_s / fast_s
+    stats = fast.document.mutation_stats
+    report = {
+        "requery_ms": round(fast_s * 1e3, 3),
+        "rebuild_ms": round(slow_s * 1e3, 3),
+        "speedup": round(speedup, 1),
+        "generation": fast.document.generation,
+        "repairs": stats.repairs,
+        "rebuilds": stats.rebuilds,
+    }
+    print(
+        f"\nedit+re-query vs serialize+reparse: {report['speedup']}x "
+        f"(rebuild {report['rebuild_ms']}ms, re-query {report['requery_ms']}ms; "
+        f"{report['generation']} edits, {report['repairs']} repairs, "
+        f"{report['rebuilds']} index rebuilds)"
+    )
+    if os.environ.get("REPRO_BENCH_RECORD"):
+        _record_trajectory(report)
+    assert speedup >= SPEEDUP_BAR, (
+        f"edit+re-query only {speedup:.1f}x faster than serialize→reparse "
+        f"(bar {SPEEDUP_BAR}x): {report}"
+    )
+
+
+def _record_trajectory(report) -> None:
+    """Append this run to BENCH_mutation.json at the repo root."""
+    path = Path(__file__).resolve().parent.parent / "BENCH_mutation.json"
+    trajectory = []
+    if path.exists():
+        trajectory = json.loads(path.read_text(encoding="utf-8"))
+    trajectory.append(
+        {
+            "date": time.strftime("%Y-%m-%d"),
+            "articles": ARTICLES,
+            "speedup_bar": SPEEDUP_BAR,
+            "measurements": report,
+        }
+    )
+    path.write_text(json.dumps(trajectory, indent=2) + "\n", encoding="utf-8")

@@ -100,6 +100,7 @@ from .errors import (
     FragmentError,
     ReproError,
     ResourceLimitExceeded,
+    StaleResultError,
     UnexpectedEvaluationError,
     VariableBindingError,
     WorkerLostError,
@@ -131,6 +132,7 @@ __all__ = [
     "ResourceLimitExceeded",
     "RetryPolicy",
     "SessionStats",
+    "StaleResultError",
     "UnexpectedEvaluationError",
     "VariableBindingError",
     "WorkerLostError",

@@ -13,6 +13,8 @@ Usage::
     python -m repro.cli store query QUERY STORE [--jobs N] [--backend B] ...
     python -m repro.cli serve STORE [--host H] [--port P] [--tenants FILE]
                         [--max-queue N] [--max-concurrency N] [--deadline S]
+    python -m repro.cli edit SCRIPT [FILE] [--query QUERY] [--engine NAME]
+                        [--stats]
 
 The first form reads the XML document from FILE (or stdin when omitted),
 evaluates QUERY through the default session and prints the result: one line
@@ -58,9 +60,19 @@ memory-mapped file (no re-parsing), with the same per-document isolation,
 parallelism flags, output shape and exit codes as ``batch``.  A corrupt or
 truncated store is a positioned error (exit code 1), never a crash.
 
-A first argument of ``explain``, ``batch`` or ``store`` selects the
-subcommand; to *evaluate* a query literally so named, put ``--`` in front
-of it (``python -m repro.cli -- explain doc.xml``).
+The ``edit`` subcommand applies a JSON edit script (an array of op
+objects — ``insert``, ``remove``, ``rename``, ``set_text``,
+``set_attribute``; targets are document orders in the evolving document)
+to an XML document and prints the edited document as XML.  With
+``--query`` it evaluates the query against the *edited* document and
+prints the result instead — exercising the incremental index-repair path
+rather than a reparse.  ``--stats`` reports the mutation counters (edits
+applied, incremental repairs, epoch rebuilds) on stderr.
+
+A first argument of ``explain``, ``batch``, ``store``, ``serve`` or
+``edit`` selects the subcommand; to *evaluate* a query literally so
+named, put ``--`` in front of it (``python -m repro.cli -- explain
+doc.xml``).
 
 Examples::
 
@@ -72,6 +84,7 @@ Examples::
     python -m repro.cli batch "//item[@id]" a.xml b.xml c.xml --jobs 4
     python -m repro.cli store build corpus.reproxs a.xml b.xml c.xml
     python -m repro.cli store query "//item[@id]" corpus.reproxs --jobs 4
+    python -m repro.cli edit edits.json doc.xml --query "count(//item)" --stats
     echo "<a><b/></a>" | python -m repro.cli "//b" --classify --stats
 """
 
@@ -344,6 +357,52 @@ def build_store_query_parser() -> argparse.ArgumentParser:
     return parser
 
 
+def build_edit_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro-xpath edit",
+        description="Apply a JSON edit script to an XML document and print "
+        "the edited document (or, with --query, evaluate a query against "
+        "the edited document through the incremental index-repair path).  "
+        "A script is a JSON array of op objects: {\"op\": \"rename\", "
+        "\"target\": 3, \"name\": \"b\"} — targets are document orders in "
+        "the evolving document, so ops apply strictly in order.",
+    )
+    parser.add_argument(
+        "script",
+        help="JSON edit-script file ('-' reads the script from stdin; the "
+        "XML must then come from FILE)",
+    )
+    parser.add_argument(
+        "file",
+        nargs="?",
+        help="XML input file (reads standard input when omitted)",
+    )
+    parser.add_argument(
+        "--query",
+        default=None,
+        metavar="QUERY",
+        help="after editing, evaluate this XPath query against the edited "
+        "document and print its result instead of the document",
+    )
+    parser.add_argument(
+        "--engine",
+        default=None,
+        choices=sorted(engine_names()) + ["auto"],
+        help=f"evaluation engine for --query (default: {DEFAULT_ENGINE})",
+    )
+    parser.add_argument(
+        "--xml",
+        action="store_true",
+        help="with --query, print node-set results as serialised XML",
+    )
+    parser.add_argument(
+        "--stats",
+        action="store_true",
+        help="print mutation counters (edits, repairs, rebuilds) on stderr",
+    )
+    return parser
+
+
 def _limits_from_args(args: argparse.Namespace) -> Optional[EvalLimits]:
     if args.max_ops is None and args.max_nodes is None and args.timeout is None:
         return None
@@ -393,6 +452,8 @@ def run(argv: Optional[Sequence[str]] = None, stdin: Optional[str] = None) -> in
         return _run_store(list(argv[1:]))
     if argv and argv[0] == "serve":
         return _run_serve(list(argv[1:]))
+    if argv and argv[0] == "edit":
+        return _run_edit(list(argv[1:]), stdin)
     return _run_evaluate(list(argv), stdin)
 
 
@@ -466,6 +527,58 @@ def _run_explain(argv: Sequence[str], stdin: Optional[str]) -> int:
     except ResourceLimitExceeded as error:
         print(f"limit exceeded: {error}", file=sys.stderr)
         return 3
+    except ReproError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    except OSError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+
+
+def _run_edit(argv: Sequence[str], stdin: Optional[str]) -> int:
+    import json
+
+    from .workloads.edits import apply_script, script_from_json
+
+    parser = build_edit_parser()
+    args = parser.parse_args(argv)
+
+    try:
+        if args.script == "-":
+            if args.file is None:
+                print(
+                    "error: with SCRIPT '-', the XML must come from FILE",
+                    file=sys.stderr,
+                )
+                return 2
+            script_text = stdin if stdin is not None else sys.stdin.read()
+        else:
+            with open(args.script, "r", encoding="utf-8") as handle:
+                script_text = handle.read()
+        script = script_from_json(json.loads(script_text))
+
+        session = default_session()
+        document = session.watch(_read_document(args, stdin))
+        applied = apply_script(document, script)
+
+        if args.query is not None:
+            requested = args.engine if args.engine is not None else DEFAULT_ENGINE
+            result = session.run(args.query, document, engine=requested)
+            _print_value(result.value, as_xml=args.xml)
+        else:
+            print(serialize_node(document.root))
+        if args.stats:
+            print(f"# edits applied: {applied}", file=sys.stderr)
+            _print_stats(session.stats)
+        return 0
+    except json.JSONDecodeError as error:
+        print(f"error: invalid edit script: {error}", file=sys.stderr)
+        return 1
+    except (ValueError, TypeError, IndexError) as error:
+        # The edit API's validation errors: unknown op, bad target order,
+        # text beside text, removing the root, ... — user input, exit 1.
+        print(f"error: {error}", file=sys.stderr)
+        return 1
     except ReproError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1

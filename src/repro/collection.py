@@ -494,11 +494,16 @@ class Collection:
         executor, ephemeral = resolve_executor(
             parallel, max_workers=max_workers, backend=backend
         )
+        # Pin every document at one generation before the first evaluation:
+        # a writer mutating a document mid-batch copies the tree for itself
+        # (copy-on-write) while the batch keeps reading the pinned columns —
+        # no worker can observe a half-applied edit, serial or parallel.
+        pinned = self._pin_documents()
         if executor is None:
             runner = session.engine(plan.engine_name)
             outcomes = []
             aborted = False
-            for index, document in enumerate(self._documents):
+            for index, document in enumerate(pinned):
                 if aborted:
                     outcomes.append(_aborted_outcome(index))
                     continue
@@ -518,7 +523,7 @@ class Collection:
                     self, plan, variables=merged or None, limits=effective_limits,
                     select_nodes=select_nodes, session=session,
                     retry=retry, deadline=batch_deadline,
-                    fail_fast=fail_fast,
+                    fail_fast=fail_fast, documents=pinned,
                 )
             finally:
                 if ephemeral:
@@ -531,15 +536,31 @@ class Collection:
             if failure_report is not None:
                 session.stats.record_faults(failure_report)
         for outcome in outcomes:
-            results.append(self._fold_outcome(outcome, plan, session))
+            results.append(self._fold_outcome(outcome, plan, session, pinned))
         return results
 
+    def _pin_documents(self) -> tuple:
+        """One evaluation view per document, each pinned at a single
+        generation (:meth:`Document.snapshot`).  Non-``Document`` entries —
+        store handles that materialise lazily inside the evaluation
+        isolation boundary — pass through unchanged."""
+        return tuple(
+            document.snapshot() if isinstance(document, Document) else document
+            for document in self._documents
+        )
+
     def _fold_outcome(
-        self, outcome: DocumentOutcome, plan, session
+        self, outcome: DocumentOutcome, plan, session, pinned=None
     ) -> BatchResult:
         """Turn one per-document outcome into a :class:`BatchResult`,
         folding it into the session statistics exactly like the serial path
-        always did (failures pull partial stats off the error itself)."""
+        always did (failures pull partial stats off the error itself).
+
+        Result node orders are mapped back through the *pinned* view the
+        outcome was evaluated against — after a mid-batch copy-on-write the
+        writer's columns describe a different tree — while
+        :attr:`BatchResult.document` keeps the caller's document identity.
+        """
         index = outcome.index
         if outcome.error is not None:
             session.stats.record_failure(
@@ -548,13 +569,16 @@ class Collection:
             return self._failure(index, outcome.error)
         session.stats.record(plan.engine_name, outcome.stats, outcome.elapsed)
         document = self._document_at(index)
+        evaluated = document
+        if pinned is not None and isinstance(pinned[index], Document):
+            evaluated = pinned[index]
         if outcome.orders is not None:
-            nodes = [document.index.nodes[order] for order in outcome.orders]
+            nodes = [evaluated.index.nodes[order] for order in outcome.orders]
             return BatchResult(index, self._names[index], document, nodes=nodes)
         if outcome.value_orders is not None:
             value = NodeSet.from_sorted(
-                document.index.nodes[order] for order in outcome.value_orders
-            )
+                evaluated.index.nodes[order] for order in outcome.value_orders
+            ).stamp(evaluated)
             return BatchResult(index, self._names[index], document, value=value)
         return BatchResult(
             index, self._names[index], document, value=outcome.value

@@ -282,6 +282,11 @@ class XPathEngine:
         if guard is not None:
             guard.check_deadline(stats)
             guard.check_result(value, stats)
+        if isinstance(value, NodeSet):
+            # Stamp the result with the generation it was computed against so
+            # later use after a document edit raises StaleResultError instead
+            # of silently mixing epochs.
+            value.stamp(document)
         self.last_stats = stats
         return value
 

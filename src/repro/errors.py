@@ -273,3 +273,42 @@ class VariableBindingError(XPathEvaluationError):
 
     def __reduce__(self):
         return (_restore, (type(self), self.args, {"name": self.name}))
+
+
+class StaleResultError(XPathEvaluationError):
+    """A node-set computed at an older document generation was used again.
+
+    Node-set results carry the ``document.generation`` they were computed
+    at.  After the document is edited, the preorder ranks baked into the
+    old result no longer describe the current tree, so re-ordering or
+    iterating the stale set would silently return wrong nodes.  This error
+    makes the staleness explicit; results computed against a pinned
+    :meth:`~repro.xmlmodel.document.Document.snapshot` never go stale
+    because the snapshot's generation is frozen.
+
+    Attributes
+    ----------
+    computed_at:
+        The document generation the node-set was computed at.
+    current:
+        The document's generation when the stale use was attempted.
+    """
+
+    def __init__(self, computed_at: int, current: int):
+        self.computed_at = computed_at
+        self.current = current
+        super().__init__(
+            "node-set computed at document generation "
+            f"{computed_at} used at generation {current}; re-run the query "
+            "or evaluate against document.snapshot() to pin a generation"
+        )
+
+    def __reduce__(self):
+        return (
+            _restore,
+            (
+                type(self),
+                self.args,
+                {"computed_at": self.computed_at, "current": self.current},
+            ),
+        )

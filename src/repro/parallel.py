@@ -811,6 +811,7 @@ class ParallelExecutor:
         retry: Optional[RetryPolicy] = None,
         deadline: Optional[float] = None,
         fail_fast: bool = False,
+        documents: Optional[Sequence[Document]] = None,
     ) -> tuple[list[DocumentOutcome], Optional[FailureReport]]:
         """Evaluate ``plan`` over every document, in parallel, in order.
 
@@ -844,8 +845,14 @@ class ParallelExecutor:
         caching would need a miss-and-retry protocol (chunk→worker
         assignment is nondeterministic); per-batch shipping is the simple
         correct trade-off for the CPU-bound workloads this backend targets.
+
+        ``documents`` overrides the evaluation views (the caller passes the
+        per-document generation-pinned snapshots so a writer mutating
+        mid-batch can never tear a worker's read); positions must align
+        with ``collection.documents``.
         """
-        documents = collection.documents
+        if documents is None:
+            documents = collection.documents
         if not documents:
             return [], None
         if self.backend == "thread":

@@ -389,6 +389,12 @@ class PlanCache:
     lock: two threads missing on the same key may both compile, but exactly
     one plan wins the cache slot and both compilations are counted as the
     misses they were.
+
+    Plans are generation-independent: a :class:`CompiledQuery` mentions no
+    document, so mutating a document (``Document.insert_child`` and
+    friends) never invalidates cached plans or pooled engines — staleness
+    is tracked on the *result* side (``NodeSet``/``QueryResult`` carry the
+    generation they were computed at).
     """
 
     def __init__(self, maxsize: int = 256):

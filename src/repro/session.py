@@ -124,6 +124,14 @@ class SessionStats:
     worker_failures: int = 0
     retries: int = 0
     degraded_chunks: int = 0
+    #: Mutation aggregates for documents the session watches (see
+    #: :meth:`XPathSession.watch`): edits applied, incremental index
+    #: repairs, full epoch rebuilds, and copy-on-write tree copies forced
+    #: by live snapshots.
+    document_edits: int = 0
+    index_repairs: int = 0
+    index_rebuilds: int = 0
+    cow_copies: int = 0
     _lock: threading.Lock = field(
         default_factory=threading.Lock, repr=False, compare=False
     )
@@ -162,6 +170,19 @@ class SessionStats:
             limit_breach=isinstance(error, ResourceLimitExceeded),
         )
 
+    def record_mutation(self, event: str) -> None:
+        """Fold one document mutation event (``"edit"`` / ``"repair"`` /
+        ``"rebuild"`` / ``"cow"``) into the aggregates."""
+        with self._lock:
+            if event == "edit":
+                self.document_edits += 1
+            elif event == "repair":
+                self.index_repairs += 1
+            elif event == "rebuild":
+                self.index_rebuilds += 1
+            elif event == "cow":
+                self.cow_copies += 1
+
     def record_faults(self, report) -> None:
         """Fold a batch :class:`~repro.parallel.FailureReport` into the
         fault aggregates (the per-document outcomes are recorded separately,
@@ -183,6 +204,10 @@ class SessionStats:
                 "worker_failures": self.worker_failures,
                 "retries": self.retries,
                 "degraded_chunks": self.degraded_chunks,
+                "document_edits": self.document_edits,
+                "index_repairs": self.index_repairs,
+                "index_rebuilds": self.index_rebuilds,
+                "cow_copies": self.cow_copies,
             }
 
 
@@ -217,6 +242,11 @@ class QueryResult:
     elapsed_seconds: float
     #: The limits that were in force (the session's, unless overridden).
     limits: EvalLimits = field(default_factory=EvalLimits)
+    #: Generation of the evaluated document at evaluation time; ``None``
+    #: only for results predating the mutation epoch model.  Node-set
+    #: payloads carry the same stamp and raise
+    #: :class:`~repro.errors.StaleResultError` when ordered after an edit.
+    generation: Optional[int] = None
 
     # -- payload accessors ---------------------------------------------
     @property
@@ -448,6 +478,28 @@ class XPathSession:
         return engine
 
     # ------------------------------------------------------------------
+    # Mutation watching
+    # ------------------------------------------------------------------
+    def watch(self, document: Document) -> Document:
+        """Fold ``document``'s mutation events into :attr:`stats`.
+
+        Registers a listener on the document so every edit, index repair,
+        epoch rebuild and copy-on-write is counted in the session's
+        ``document_edits`` / ``index_repairs`` / ``index_rebuilds`` /
+        ``cow_copies`` aggregates.  Idempotent; returns the document for
+        chaining.
+        """
+        document.add_mutation_listener(self._on_mutation)
+        return document
+
+    def unwatch(self, document: Document) -> None:
+        """Stop folding ``document``'s mutation events into :attr:`stats`."""
+        document.remove_mutation_listener(self._on_mutation)
+
+    def _on_mutation(self, document: Document, event: str) -> None:
+        self.stats.record_mutation(event)
+
+    # ------------------------------------------------------------------
     # Parsing front door
     # ------------------------------------------------------------------
     def parse(self, text: str, *, strip_whitespace: bool = False) -> Document:
@@ -596,6 +648,7 @@ class XPathSession:
             stats=stats,
             elapsed_seconds=elapsed,
             limits=effective_limits,
+            generation=document.generation,
         )
 
     def evaluate(

@@ -322,7 +322,14 @@ class StoredDocument:
         """
         document = self._document
         if document is not None:
-            return document
+            if document.generation == 0:
+                return document
+            # The caller edited the cached tree: it divorced the store on
+            # its first edit (store_detached) and no longer reflects this
+            # block.  The handle keeps describing the *stored* content, so
+            # rebuild a fresh generation-0 tree; the edited document lives
+            # on independently with whoever holds it.
+            self._document = None
         self._check()
         store = self.store
         entry = self._entry
@@ -374,6 +381,29 @@ class StoredDocument:
         document.index._arrays = self.arrays()
         self._document = document
         return document
+
+    # -- lifetime -------------------------------------------------------
+    def detach(self) -> None:
+        """Divorce any live materialised tree from the store mapping.
+
+        Called by :meth:`DocumentStore.close` before the mmap is released:
+        the tree's index drops its zero-copy :class:`StoredIndexArrays`
+        (the next compiled evaluation rebuilds flat columns from the tree,
+        in memory) and the document loses its store origin so pickling it
+        never points a receiving process at a closed/rewritten file.  The
+        handle itself stays cached but forgets the tree — it describes a
+        mapping that is going away.
+        """
+        document = self._document
+        self._document = None
+        self._arrays = None
+        if document is None:
+            return
+        index = document._index
+        if index is not None and isinstance(index._arrays, StoredIndexArrays):
+            index._arrays = None
+        document._store_origin = None
+        document.store_detached = True
 
     # -- pickling: ship the path, not the tree --------------------------
     def __reduce__(self):
@@ -631,7 +661,19 @@ class DocumentStore:
         return True
 
     def info(self) -> dict:
-        """Header/TOC summary (the ``store info`` CLI payload)."""
+        """Header/TOC summary (the ``store info`` CLI payload).
+
+        ``materialized_generations`` maps document position → the live
+        materialised tree's edit generation: ``0`` means the tree still
+        mirrors the stored block, anything higher means the caller edited
+        it (the tree has divorced the store and the handle will rebuild a
+        fresh generation-0 tree on its next ``materialize()``).
+        """
+        generations = {
+            handle.position: handle._document.generation
+            for handle in self._documents
+            if handle is not None and handle._document is not None
+        }
         return {
             "path": self.path,
             "version": fmt.VERSION,
@@ -640,17 +682,26 @@ class DocumentStore:
             "nodes": sum(entry.node_count for entry in self._entries),
             "strings": self._string_count,
             "string_blob_bytes": self._string_blob_len,
+            "materialized_generations": generations,
         }
 
     # -- lifetime -------------------------------------------------------
     def close(self) -> None:
         """Unmap the file, or defer to GC if column views are still live.
 
+        Live materialised trees are detached first
+        (:meth:`StoredDocument.detach`): their indexes drop the zero-copy
+        store columns, so evaluating against a tree that outlives its store
+        rebuilds in-memory columns instead of reading a released mapping.
+
         The store's own internal view (the string-offsets column) is
         released first, so a store nobody has materialised documents from
         unmaps deterministically — before this, every ``close()`` deferred
         to garbage collection because of that one internal export.
         """
+        for handle in self._documents:
+            if handle is not None:
+                handle.detach()
         offsets = self._string_offsets
         if offsets is not None:
             self._string_offsets = None

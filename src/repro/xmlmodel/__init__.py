@@ -12,8 +12,8 @@ provides everything the paper assumes about XML documents:
 * a push-style tree builder for programmatic construction (:mod:`.builder`).
 """
 
-from .builder import TreeBuilder, build_document
-from .document import Document
+from .builder import TreeBuilder, build_document, build_fragment
+from .document import Document, MutationStats
 from .ids import RefRelation, deref_ids, ref_relation_for
 from .index import DocumentIndex
 from .lexer import XMLLexer, XMLToken, XMLTokenType
@@ -24,6 +24,7 @@ from .serializer import serialize, serialize_node
 __all__ = [
     "Document",
     "DocumentIndex",
+    "MutationStats",
     "Node",
     "NodeType",
     "RefRelation",
@@ -32,6 +33,7 @@ __all__ = [
     "XMLToken",
     "XMLTokenType",
     "build_document",
+    "build_fragment",
     "deref_ids",
     "parse_xml",
     "ref_relation_for",

@@ -174,3 +174,38 @@ def build_document(
 
     emit(tag, attributes, children)
     return builder.finish()
+
+
+def build_fragment(
+    tag: str,
+    attributes: Optional[Mapping[str, str]] = None,
+    children: Sequence[object] = (),
+) -> Node:
+    """Build a detached element subtree from the same nested-tuple shape
+    :func:`build_document` takes.
+
+    The result has no document, parent or orders — exactly what
+    :meth:`~repro.xmlmodel.document.Document.insert_child` expects.
+    Adjacent string children are merged into one text node, mirroring the
+    parser's behaviour.
+    """
+    element = Node(NodeType.ELEMENT, name=tag)
+    for attr_name, attr_value in (attributes or {}).items():
+        element.append_attribute(
+            Node(NodeType.ATTRIBUTE, name=attr_name, value=attr_value)
+        )
+    for kid in children:
+        if isinstance(kid, str):
+            if kid == "":
+                continue
+            last = element._children[-1] if element._children else None
+            if last is not None and last.node_type is NodeType.TEXT:
+                last.value = (last.value or "") + kid
+                continue
+            element.append_child(Node(NodeType.TEXT, value=kid))
+        else:
+            kid_tag = kid[0]
+            kid_attrs = kid[1] if len(kid) > 1 else None
+            kid_children = kid[2] if len(kid) > 2 else ()
+            element.append_child(build_fragment(kid_tag, kid_attrs, kid_children))
+    return element

@@ -10,11 +10,29 @@ mapping each node test to the subset of ``dom`` satisfying it.  A
 * node-test indexes (by type, and by (type, name));
 * ID lookup used by ``id()`` / ``deref_ids`` and the ``ref`` relation of
   XPatterns (Section 10.2).
+
+Mutation (the epoch model)
+--------------------------
+Documents are frozen once (:meth:`Document.freeze`) but no longer immutable
+afterwards: the edit API — :meth:`~Document.insert_child`,
+:meth:`~Document.remove`, :meth:`~Document.rename`, :meth:`~Document.set_text`,
+:meth:`~Document.set_attribute` — applies in-place edits, each bumping the
+monotone ``document.generation``.  Small edits repair the order/extent
+columns and posting lists locally (O(tail + depth)); once the accumulated
+repair span crosses the dirtiness threshold the index is discarded and
+rebuilt lazily (an *epoch* rebuild, amortised O(1) per shifted entry).
+:meth:`~Document.snapshot` pins the current generation as a cheap
+copy-on-write read view for concurrent readers: the first edit after a
+snapshot copies the tree for the writer, so the view's nodes and columns
+are never touched again.
 """
 
 from __future__ import annotations
 
 import os
+import re
+import threading
+from dataclasses import dataclass
 from operator import attrgetter
 from typing import TYPE_CHECKING, Iterable, Iterator, Optional
 
@@ -25,9 +43,90 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 
 _ORDER = attrgetter("order")
 
+#: Pragmatic XML-Name check for ``rename``/``set_attribute``: a serialized
+#: edited document must reparse, so names the lexer would reject are refused
+#: up front (NCName characters, one optional colon for prefixed names).
+_NAME_RE = re.compile(r"^[A-Za-z_][A-Za-z0-9_.\-]*(?::[A-Za-z_][A-Za-z0-9_.\-]*)?$")
+
+#: Child node types the edit API accepts under ``insert_child`` (attribute
+#: and namespace nodes go through ``set_attribute`` / are not insertable).
+_REGULAR_CHILD_TYPES = frozenset(
+    {
+        NodeType.ELEMENT,
+        NodeType.TEXT,
+        NodeType.COMMENT,
+        NodeType.PROCESSING_INSTRUCTION,
+    }
+)
+
+
+@dataclass
+class MutationStats:
+    """Repair-vs-rebuild accounting of one document's edit history.
+
+    Attributes
+    ----------
+    edits:
+        Number of successful edit operations (generation bumps).
+    repairs:
+        Edits whose index maintenance was a local in-place repair.
+    rebuilds:
+        Edits that discarded the index for a lazy epoch rebuild (dirtiness
+        threshold crossed, or the index dropped by a copy-on-write).
+    cow_copies:
+        Times the writer had to copy the tree because a pinned snapshot
+        view was holding the previous generation.
+    """
+
+    edits: int = 0
+    repairs: int = 0
+    rebuilds: int = 0
+    cow_copies: int = 0
+
+    def as_dict(self) -> dict[str, int]:
+        return {
+            "edits": self.edits,
+            "repairs": self.repairs,
+            "rebuilds": self.rebuilds,
+            "cow_copies": self.cow_copies,
+        }
+
+
+def _validate_value(node_type: NodeType, value: str) -> None:
+    """Shared value checks for ``set_text``: the edited document must
+    serialize to XML that reparses to the identical tree."""
+    if not isinstance(value, str):
+        raise TypeError("node value must be a string")
+    if node_type in (NodeType.ELEMENT, NodeType.ROOT):
+        raise ValueError(
+            "element/root nodes have no direct value; edit their text children"
+        )
+    if node_type is NodeType.TEXT and value == "":
+        raise ValueError(
+            "empty text would vanish on serialize; remove the node instead"
+        )
+    if node_type is NodeType.COMMENT and ("--" in value or value.endswith("-")):
+        raise ValueError("comment text cannot contain '--' or end with '-'")
+    if node_type is NodeType.PROCESSING_INSTRUCTION and "?>" in value:
+        raise ValueError("processing-instruction data cannot contain '?>'")
+
+
+def _rewire_child0(parent: Node) -> None:
+    """Re-derive ``first_child``/sibling links from ``parent``'s child lists."""
+    seq = parent.child0_sequence()
+    parent.first_child = seq[0] if seq else None
+    previous: Optional[Node] = None
+    for child in seq:
+        child.prev_sibling = previous
+        if previous is not None:
+            previous.next_sibling = child
+        previous = child
+    if previous is not None:
+        previous.next_sibling = None
+
 
 class Document:
-    """An immutable (after :meth:`freeze`) XML document tree.
+    """A frozen-then-editable XML document tree.
 
     Parameters
     ----------
@@ -38,12 +137,33 @@ class Document:
         Name of the attribute treated as an ID (DTD ID/IDREF substitute).
         The paper's ``deref_ids`` function needs only a node-id mapping; we
         follow the common convention of using attributes named ``id``.
+
+    After :meth:`freeze` the document can be queried, and edited through the
+    mutation API (see the module docstring): every edit bumps
+    :attr:`generation`, node handles from *before* an edit stay valid while
+    the edits are in place (orders are renumbered on the shared node
+    objects) but are invalidated by a copy-on-write — obtain fresh handles
+    by re-querying.  All edits and :meth:`snapshot` are serialised by an
+    internal lock; concurrent *readers* are safe only against a pinned
+    snapshot, never against a document being edited under them.
     """
 
     #: ``(store_path, position)`` when this document was materialised from a
     #: persistent store (set by ``StoredDocument.materialize``); lets
     #: ``__reduce__`` ship a path instead of the whole tree.
     _store_origin: Optional[tuple[str, int]] = None
+
+    #: True once an edit divorced this document from its persistent store
+    #: (the on-disk columns describe generation 0, not this tree).
+    store_detached: bool = False
+
+    #: Accumulated repair span (fraction of ``len(dom)``) that triggers the
+    #: amortised epoch rebuild instead of another local repair.
+    rebuild_threshold: float = 1.0
+
+    #: Floor below which the dirtiness accounting never triggers a rebuild —
+    #: on tiny documents local repair is always at least as cheap.
+    _REBUILD_MIN_DIRT = 64
 
     def __init__(self, root: Node, id_attribute: str = "id"):
         if root.node_type is not NodeType.ROOT:
@@ -56,6 +176,14 @@ class Document:
         self._index: Optional["DocumentIndex"] = None
         self._ref_relation = None  # built lazily by ids.ref_relation_for
         self._frozen = False
+        #: Monotone edit epoch: 0 at parse, +1 per successful edit.
+        self.generation = 0
+        self.mutation_stats = MutationStats()
+        self._edit_lock = threading.RLock()
+        self._pinned_view: Optional["Document"] = None
+        self._snapshot_of: Optional["Document"] = None
+        self._dirt = 0
+        self._listeners: list = []
 
     # ------------------------------------------------------------------
     # Pickling (the parallel executor ships documents to worker processes)
@@ -77,10 +205,15 @@ class Document:
         the store file — per-batch serialization cost becomes O(1) per
         document and the OS page cache is shared across workers.  If the
         store file has meanwhile disappeared, the flat form below is the
-        fallback, so the pickle never breaks.
+        fallback, so the pickle never breaks.  A *mutated* document
+        (``generation > 0``) must never take the fast path either: the
+        on-disk columns still describe generation 0, so shipping the origin
+        would silently resurrect the stale store content in the worker.  The
+        rebuilt document always starts at generation 0 — generations are a
+        per-process edit epoch, not a content version.
         """
         origin = self._store_origin
-        if origin is not None and os.path.exists(origin[0]):
+        if origin is not None and self.generation == 0 and os.path.exists(origin[0]):
             return (_rebuild_from_store, origin)
         payload = []
         stack = [(self.root, -1)]
@@ -106,6 +239,17 @@ class Document:
         """
         if self._frozen:
             return self
+        self._refresh()
+        self._frozen = True
+        return self
+
+    def _refresh(self) -> None:
+        """(Re-)derive orders, links, dom views and the ID map from the tree.
+
+        The body of :meth:`freeze`, reused by the edit API whenever a full
+        renumber is cheaper or required (no live index to repair, dirtiness
+        threshold crossed, or a copy-on-write replaced the tree).
+        """
         order = 0
         stack: list[Node] = [self.root]
         nodes: list[Node] = []
@@ -130,8 +274,8 @@ class Document:
         self._nodes = nodes
         self._node_set = set(nodes)
         self._build_indexes()
-        self._frozen = True
-        return self
+        self._ref_relation = None
+        self._dirt = 0
 
     def _build_indexes(self) -> None:
         ids: dict[str, Node] = {}
@@ -147,16 +291,539 @@ class Document:
         """The per-document :class:`DocumentIndex` (order arrays, subtree
         extents, label postings).  Built lazily on first use and owned by the
         document, so the index cannot outlive or leak past its document."""
-        if self._index is None:
+        index = self._index
+        if index is None:
             self._require_frozen()
             from .index import DocumentIndex
 
-            self._index = DocumentIndex(self)
-        return self._index
+            # The lazy build must not race an in-flight edit: an edit that
+            # crossed the rebuild threshold drops ``_index`` and renumbers
+            # under the lock, and an unsynchronised build here could cache
+            # an index derived from that half-renumbered state (and share
+            # it into the next snapshot).  Double-checked under the edit
+            # lock; re-entrant from edit internals because it is an RLock.
+            with self._edit_lock:
+                index = self._index
+                if index is None:
+                    index = DocumentIndex(self)
+                    self._index = index
+        return index
 
     def _require_frozen(self) -> None:
         if not self._frozen:
             raise RuntimeError("Document must be frozen before it is queried")
+
+    # ------------------------------------------------------------------
+    # Snapshots (copy-on-write read views)
+    # ------------------------------------------------------------------
+    def snapshot(self) -> "Document":
+        """A read-only view pinned at the current generation.
+
+        The view shares this document's tree, dom arrays, ID map and index —
+        creating it copies nothing.  The *next* edit on this document copies
+        the tree for the writer (copy-on-write), so the view's nodes,
+        orders and index columns are never touched again: concurrent
+        readers evaluating against the snapshot can never observe a
+        half-applied edit, and results computed against it never go stale
+        (its generation is frozen).
+
+        Shared nodes are re-pointed at the view (``node.document``), so
+        axis navigation that resolves ``node.document.index`` mid-edit also
+        lands on the pinned columns.  Repeated calls between edits return
+        the same cached view; calling on a snapshot returns the snapshot
+        itself.
+        """
+        self._require_frozen()
+        if self._snapshot_of is not None:
+            return self
+        with self._edit_lock:
+            pinned = self._pinned_view
+            if pinned is not None:
+                return pinned
+            pinned = Document.__new__(Document)
+            pinned.root = self.root
+            pinned.id_attribute = self.id_attribute
+            pinned._nodes = self._nodes
+            pinned._node_set = self._node_set
+            pinned._ids = self._ids
+            pinned._index = self._index
+            pinned._ref_relation = self._ref_relation
+            pinned._frozen = True
+            pinned.generation = self.generation
+            pinned.mutation_stats = self.mutation_stats
+            pinned._edit_lock = threading.RLock()
+            pinned._pinned_view = None
+            pinned._snapshot_of = self
+            pinned._dirt = 0
+            pinned._listeners = []
+            pinned.store_detached = self.store_detached
+            if self.generation == 0 and self._store_origin is not None:
+                pinned._store_origin = self._store_origin
+            for node in self._nodes:
+                node.document = pinned
+            if self._index is not None:
+                self._index.document = pinned
+            self._pinned_view = pinned
+            return pinned
+
+    @property
+    def is_snapshot(self) -> bool:
+        """True for pinned views produced by :meth:`snapshot`."""
+        return self._snapshot_of is not None
+
+    # ------------------------------------------------------------------
+    # Mutation listeners (session invalidation hooks)
+    # ------------------------------------------------------------------
+    def add_mutation_listener(self, callback) -> None:
+        """Register ``callback(document, event)`` for mutation events.
+
+        Events: ``"edit"`` after every successful edit, ``"repair"`` /
+        ``"rebuild"`` for the index maintenance strategy chosen, ``"cow"``
+        when a pinned snapshot forced the writer to copy the tree.
+        Callbacks run under the edit lock — keep them small.
+        """
+        if callback not in self._listeners:
+            self._listeners.append(callback)
+
+    def remove_mutation_listener(self, callback) -> None:
+        try:
+            self._listeners.remove(callback)
+        except ValueError:
+            pass
+
+    def _emit(self, event: str) -> None:
+        for listener in tuple(self._listeners):
+            listener(self, event)
+
+    # ------------------------------------------------------------------
+    # Edit API
+    # ------------------------------------------------------------------
+    def insert_child(
+        self, parent: Node, node: Node, position: Optional[int] = None
+    ) -> Node:
+        """Insert a detached subtree as a child of ``parent``.
+
+        ``position`` indexes ``parent.children`` (the regular children);
+        ``None`` appends.  ``node`` must be detached — freshly built
+        (:func:`~repro.xmlmodel.builder.build_fragment`) or lifted from
+        another tree with :meth:`~repro.xmlmodel.nodes.Node.detached_copy`.
+        Returns the inserted node, now owned by this document.
+        """
+        with self._edit_lock:
+            parent_order = self._resolve_target(parent)
+            if parent.node_type not in (NodeType.ROOT, NodeType.ELEMENT):
+                raise ValueError(
+                    f"{parent.node_type.value} nodes cannot take children"
+                )
+            if not isinstance(node, Node):
+                raise TypeError("insert_child expects a Node")
+            if node.parent is not None or node.document is not None or node.order != -1:
+                raise ValueError(
+                    "insert_child expects a detached node; use "
+                    "Node.detached_copy() to lift a subtree out of a document"
+                )
+            if node.node_type not in _REGULAR_CHILD_TYPES:
+                raise ValueError(
+                    f"{node.node_type.value} nodes cannot be inserted as children"
+                )
+            self._validate_fragment(node)
+            children_count = len(parent._children)
+            if position is None:
+                position = children_count
+            if not 0 <= position <= children_count:
+                raise IndexError(
+                    f"insert position {position} out of range 0..{children_count}"
+                )
+            if parent.node_type is NodeType.ROOT:
+                if node.node_type is NodeType.TEXT:
+                    raise ValueError(
+                        "text nodes cannot be inserted at the document root"
+                    )
+                if (
+                    node.node_type is NodeType.ELEMENT
+                    and self.document_element is not None
+                ):
+                    raise ValueError("document already has a document element")
+            if node.node_type is NodeType.TEXT:
+                before = parent._children[position - 1] if position > 0 else None
+                after = (
+                    parent._children[position]
+                    if position < children_count
+                    else None
+                )
+                if (before is not None and before.node_type is NodeType.TEXT) or (
+                    after is not None and after.node_type is NodeType.TEXT
+                ):
+                    raise ValueError(
+                        "adjacent text nodes would merge on serialize/reparse; "
+                        "use set_text on the existing text node instead"
+                    )
+            self._begin_edit()
+            parent = self._nodes[parent_order]
+            node.parent = parent
+            parent._children.insert(position, node)
+            _rewire_child0(parent)
+            inserted, repaired = self._attach_structural(node)
+            if repaired:
+                self._patch_ids_after_insert(inserted)
+            self._finish_edit(touched=parent, id_rescan=False)
+            return node
+
+    def remove(self, node: Node) -> Node:
+        """Remove ``node`` (and its whole subtree) from the document.
+
+        Returns the detached subtree root, reusable via ``insert_child``
+        into any document.  Removing a node from between two text siblings
+        merges them (the serialized form would merge on reparse anyway).
+        The root and the document element cannot be removed.
+        """
+        with self._edit_lock:
+            order = self._resolve_target(node)
+            if node.node_type is NodeType.ROOT:
+                raise ValueError("cannot remove the root node")
+            if node is self.document_element:
+                raise ValueError("cannot remove the document element")
+            self._begin_edit()
+            node = self._nodes[order]
+            parent = node.parent
+            before = node.prev_sibling
+            after = node.next_sibling
+            removed = [node, *node.iter_descendants(include_special=True)]
+            id_rescan = self._removal_disturbs_ids(removed)
+            self._detach_structural(node, removed)
+            if (
+                before is not None
+                and after is not None
+                and before.node_type is NodeType.TEXT
+                and after.node_type is NodeType.TEXT
+            ):
+                # Merge the adjacency this removal created, mirroring what a
+                # serialize→reparse round trip would do.
+                before.value = (before.value or "") + (after.value or "")
+                before._string_value = None
+                self._detach_structural(after, [after])
+            self._finish_edit(touched=parent, id_rescan=id_rescan)
+            return node
+
+    def rename(self, node: Node, name: str) -> Node:
+        """Rename an element, attribute or processing-instruction node."""
+        with self._edit_lock:
+            order = self._resolve_target(node)
+            if node.node_type not in (
+                NodeType.ELEMENT,
+                NodeType.ATTRIBUTE,
+                NodeType.PROCESSING_INSTRUCTION,
+            ):
+                raise ValueError(f"cannot rename a {node.node_type.value} node")
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid XML name {name!r}")
+            if (
+                node.node_type is NodeType.PROCESSING_INSTRUCTION
+                and name.lower() == "xml"
+            ):
+                raise ValueError("'xml' is a reserved processing-instruction target")
+            if node.node_type is NodeType.ATTRIBUTE:
+                existing = node.parent.attribute(name)
+                if existing is not None and existing is not node:
+                    raise ValueError(f"duplicate attribute {name!r}")
+            if name == node.name:
+                return node
+            self._begin_edit()
+            node = self._nodes[order]
+            old_name = node.name
+            node.name = name
+            if self._index is not None:
+                self._index.repair_rename(node, old_name)
+                self.mutation_stats.repairs += 1
+                self._emit("repair")
+            id_rescan = node.node_type is NodeType.ATTRIBUTE and (
+                old_name == self.id_attribute or name == self.id_attribute
+            )
+            self._finish_edit(touched=None, id_rescan=id_rescan)
+            return node
+
+    def set_text(self, node: Node, value: str) -> Node:
+        """Replace the value of a text, comment, PI or attribute node."""
+        with self._edit_lock:
+            order = self._resolve_target(node)
+            _validate_value(node.node_type, value)
+            self._begin_edit()
+            node = self._nodes[order]
+            node.value = value
+            id_rescan = (
+                node.node_type is NodeType.ATTRIBUTE
+                and node.name == self.id_attribute
+            )
+            self._finish_edit(touched=node, id_rescan=id_rescan)
+            return node
+
+    def set_attribute(
+        self, element: Node, name: str, value: Optional[str]
+    ) -> Optional[Node]:
+        """Set, replace or (with ``value=None``) remove an attribute.
+
+        Returns the attribute node, or ``None`` after a removal (removing
+        an absent attribute is a no-op that does not bump the generation).
+        """
+        with self._edit_lock:
+            order = self._resolve_target(element)
+            if element.node_type is not NodeType.ELEMENT:
+                raise ValueError("set_attribute expects an element node")
+            if not _NAME_RE.match(name):
+                raise ValueError(f"invalid XML name {name!r}")
+            if value is None:
+                if element.attribute(name) is None:
+                    return None
+                self._begin_edit()
+                element = self._nodes[order]
+                attr = element.attribute(name)
+                id_rescan = name == self.id_attribute
+                self._detach_structural(attr, [attr])
+                self._finish_edit(touched=element, id_rescan=id_rescan)
+                return None
+            if not isinstance(value, str):
+                raise TypeError("attribute value must be a string or None")
+            self._begin_edit()
+            element = self._nodes[order]
+            attr = element.attribute(name)
+            id_rescan = name == self.id_attribute
+            if attr is not None:
+                attr.value = value
+                self._finish_edit(touched=attr, id_rescan=id_rescan)
+                return attr
+            attr = Node(NodeType.ATTRIBUTE, name, value)
+            attr.parent = element
+            element._attributes.append(attr)
+            _rewire_child0(element)
+            self._attach_structural(attr)
+            self._finish_edit(touched=attr, id_rescan=id_rescan)
+            return attr
+
+    # ------------------------------------------------------------------
+    # Edit internals
+    # ------------------------------------------------------------------
+    def _resolve_target(self, node: Node) -> int:
+        """Validate that ``node`` is in this document's *current* tree.
+
+        Returns its order so the caller can re-resolve the handle after a
+        possible copy-on-write (``self._nodes[order]`` is then the copy at
+        the same preorder position).
+        """
+        self._require_frozen()
+        if self._snapshot_of is not None:
+            raise RuntimeError(
+                "snapshot views are read-only; edit the source document"
+            )
+        if not isinstance(node, Node):
+            raise TypeError(f"expected a Node, got {type(node).__name__}")
+        order = node.order
+        nodes = self._nodes
+        if order < 0 or order >= len(nodes) or nodes[order] is not node:
+            raise ValueError(
+                "node does not belong to this document's current tree "
+                "(stale handle after a copy-on-write? re-query for fresh nodes)"
+            )
+        return order
+
+    def _begin_edit(self) -> None:
+        """Copy-on-write away from any pinned view; divorce the store."""
+        if self._pinned_view is not None:
+            self._copy_on_write()
+        if self._store_origin is not None:
+            self._store_origin = None
+            self.store_detached = True
+
+    def _copy_on_write(self) -> None:
+        """Give the writer a private tree; the pinned view keeps the old one."""
+        self.root = self.root.detached_copy()
+        if self._index is not None:
+            # The shared index stays with the snapshot; this side rebuilds
+            # lazily over the new tree (an epoch rebuild by another name).
+            self._index = None
+            self.mutation_stats.rebuilds += 1
+        self._refresh()
+        self._pinned_view = None
+        self.mutation_stats.cow_copies += 1
+        self._emit("cow")
+
+    def _finish_edit(self, touched: Optional[Node], id_rescan: bool) -> None:
+        if id_rescan:
+            self._build_indexes()
+        self._ref_relation = None
+        self.generation += 1
+        self.mutation_stats.edits += 1
+        if touched is not None:
+            touched.invalidate_string_cache()
+        self._emit("edit")
+
+    def _register_dirt(self, span: int, size: int) -> bool:
+        """Accumulate repair span; True when the epoch rebuild is due."""
+        self._dirt += span
+        if self._dirt < max(self._REBUILD_MIN_DIRT, int(self.rebuild_threshold * size)):
+            return False
+        self._dirt = 0
+        return True
+
+    def _attach_structural(self, node: Node) -> tuple[list[Node], bool]:
+        """Renumber + index maintenance for a freshly attached subtree.
+
+        ``node`` is already wired into its parent's lists and sibling links.
+        Returns ``(inserted_preorder, repaired)``; when ``repaired`` is
+        False a full :meth:`_refresh` already rebuilt orders and the ID map.
+        """
+        index = self._index
+        if index is None:
+            self._refresh()
+            return [], False
+        prev = node.prev_sibling
+        position = (
+            index.subtree_end[prev.order] + 1
+            if prev is not None
+            else node.parent.order + 1
+        )
+        inserted = [node, *node.iter_descendants(include_special=True)]
+        count = len(inserted)
+        size = len(self._nodes)
+        if self._register_dirt(size - position + count, size + count):
+            self._index = None
+            self.mutation_stats.rebuilds += 1
+            self._emit("rebuild")
+            self._refresh()
+            return inserted, False
+        self._wire_subtree(inserted, position)
+        nodes = self._nodes
+        for i in range(position, len(nodes)):
+            nodes[i].order += count
+        nodes[position:position] = inserted
+        self._node_set.update(inserted)
+        index.repair_insert(inserted)
+        self.mutation_stats.repairs += 1
+        self._emit("repair")
+        return inserted, True
+
+    def _detach_structural(self, node: Node, removed: list[Node]) -> None:
+        """Index maintenance + physical detach of ``node``'s subtree.
+
+        ``removed`` is the subtree in child0 preorder (``node`` first),
+        still attached and carrying current orders when called.
+        """
+        index = self._index
+        position = node.order
+        count = len(removed)
+        repaired = False
+        if index is not None:
+            if self._register_dirt(len(self._nodes) - position, len(self._nodes)):
+                self._index = None
+                self.mutation_stats.rebuilds += 1
+                self._emit("rebuild")
+            else:
+                index.repair_remove(removed)
+                self.mutation_stats.repairs += 1
+                self._emit("repair")
+                repaired = True
+        parent = node.parent
+        if node.node_type is NodeType.ATTRIBUTE:
+            parent._attributes.remove(node)
+        elif node.node_type is NodeType.NAMESPACE:
+            parent._namespaces.remove(node)
+        else:
+            parent._children.remove(node)
+        _rewire_child0(parent)
+        node.parent = None
+        node.prev_sibling = None
+        node.next_sibling = None
+        if repaired:
+            nodes = self._nodes
+            del nodes[position : position + count]
+            for i in range(position, len(nodes)):
+                nodes[i].order = i
+            self._node_set.difference_update(removed)
+        else:
+            self._refresh()
+        for item in removed:
+            item.document = None
+            item.order = -1
+
+    def _wire_subtree(self, nodes_preorder: list[Node], start: int) -> None:
+        """Assign orders ``start..`` and wire links inside a new subtree."""
+        order = start
+        for node in nodes_preorder:
+            node.order = order
+            node.document = self
+            order += 1
+            seq = node.child0_sequence()
+            node.first_child = seq[0] if seq else None
+            previous: Optional[Node] = None
+            for child in seq:
+                child.prev_sibling = previous
+                if previous is not None:
+                    previous.next_sibling = child
+                previous = child
+            if previous is not None:
+                previous.next_sibling = None
+
+    def _validate_fragment(self, node: Node) -> None:
+        """Refuse fragments whose serialized form would not reparse to them."""
+        for item in node.iter_self_and_descendants(include_special=True):
+            if item.node_type is NodeType.ROOT:
+                raise ValueError("fragments cannot contain root nodes")
+            if item.node_type is NodeType.TEXT and not item.value:
+                raise ValueError(
+                    "empty text nodes would vanish on a serialize/reparse "
+                    "round trip"
+                )
+            if item.node_type is NodeType.COMMENT:
+                value = item.value or ""
+                if "--" in value or value.endswith("-"):
+                    raise ValueError(
+                        "comment text cannot contain '--' or end with '-'"
+                    )
+            if item.node_type is NodeType.PROCESSING_INSTRUCTION:
+                if "?>" in (item.value or ""):
+                    raise ValueError(
+                        "processing-instruction data cannot contain '?>'"
+                    )
+                if item.name is not None and item.name.lower() == "xml":
+                    raise ValueError(
+                        "'xml' is a reserved processing-instruction target"
+                    )
+            if item.name is not None and not _NAME_RE.match(item.name):
+                raise ValueError(f"invalid XML name {item.name!r}")
+            previous: Optional[Node] = None
+            for child in item._children:
+                if (
+                    previous is not None
+                    and previous.node_type is NodeType.TEXT
+                    and child.node_type is NodeType.TEXT
+                ):
+                    raise ValueError("fragment contains adjacent text nodes")
+                previous = child
+
+    def _patch_ids_after_insert(self, inserted: list[Node]) -> None:
+        """Incremental ID-map maintenance on the repair path.
+
+        First-in-document-order wins, matching :meth:`_build_indexes`; the
+        refresh path rebuilds the whole map instead.
+        """
+        attr_name = self.id_attribute
+        for node in inserted:
+            if node.node_type is NodeType.ELEMENT:
+                value = node.attribute_value(attr_name)
+                if value is not None:
+                    current = self._ids.get(value)
+                    if current is None or node.order < current.order:
+                        self._ids[value] = node
+
+    def _removal_disturbs_ids(self, removed: list[Node]) -> bool:
+        attr_name = self.id_attribute
+        for node in removed:
+            if node.node_type is NodeType.ELEMENT:
+                value = node.attribute_value(attr_name)
+                if value is not None and self._ids.get(value) is node:
+                    return True
+            elif node.node_type is NodeType.ATTRIBUTE and node.name == attr_name:
+                return True
+        return False
 
     # ------------------------------------------------------------------
     # dom views

@@ -54,6 +54,26 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
 _EMPTY_ORDERS: tuple[int, ...] = ()
 
 
+def _shift_orders(orders: list[int], threshold: int, delta: int) -> None:
+    """Add ``delta`` to every entry of a sorted order list ≥ ``threshold``."""
+    for i in range(bisect_left(orders, threshold), len(orders)):
+        orders[i] += delta
+
+
+def _posting_insert(bucket: list[Node], orders: list[int], node: Node) -> None:
+    """Bisect-insert ``node`` into a parallel (nodes, orders) posting list."""
+    i = bisect_left(orders, node.order)
+    orders.insert(i, node.order)
+    bucket.insert(i, node)
+
+
+def _posting_remove(bucket: list[Node], orders: list[int], node: Node) -> None:
+    """Remove ``node`` (by its current order) from a parallel posting list."""
+    i = bisect_left(orders, node.order)
+    del orders[i]
+    del bucket[i]
+
+
 class IndexArrays:
     """Flat numeric view over a :class:`DocumentIndex` for the compiled engine.
 
@@ -69,6 +89,7 @@ class IndexArrays:
 
     __slots__ = (
         "size",
+        "generation",
         "parent",
         "special",
         "subtree_end",
@@ -82,6 +103,9 @@ class IndexArrays:
     def __init__(self, index: "DocumentIndex"):
         nodes = index.nodes
         self.size = len(nodes)
+        #: document generation this view was built against; the index
+        #: rebuilds the view lazily when the document moves past it.
+        self.generation = index.document.generation
         #: parent order per node (-1 for the root), indexed by order.
         self.parent = array(
             "q",
@@ -128,9 +152,12 @@ class IndexArrays:
 class DocumentIndex:
     """Per-document navigation index over document order.
 
-    Built lazily, once, by :attr:`Document.index`; the document must be
-    frozen.  All arrays are read-only after construction (documents are
-    immutable once frozen).
+    Built lazily by :attr:`Document.index`; the document must be frozen.
+    The arrays are read-only from the query side; the document's edit API
+    repairs them in place through :meth:`repair_insert` /
+    :meth:`repair_remove` / :meth:`repair_rename` for small edits and
+    discards the whole index (lazy epoch rebuild) past its dirtiness
+    threshold — see ``Document``'s mutation docs.
     """
 
     __slots__ = (
@@ -192,15 +219,151 @@ class DocumentIndex:
     def arrays(self) -> IndexArrays:
         """Lazily-built :class:`IndexArrays` view for the compiled engine.
 
-        Built at most once per index (a concurrent double-build is benign:
-        both views are identical and one wins the slot, the same race policy
-        as the plan-level memos).
+        The view is generation-stamped: after an edit repairs this index in
+        place, the next call discards the stale flat columns and rebuilds
+        them from the repaired state.  The rebuild runs under the owning
+        document's edit lock so it can never flatten a half-applied edit
+        (and then cache the corrupt columns under a pre-edit generation).
         """
         arrays_view = self._arrays
-        if arrays_view is None:
-            arrays_view = IndexArrays(self)
-            self._arrays = arrays_view
+        # Store-backed views (StoredIndexArrays) carry no generation stamp;
+        # they describe the on-disk columns, i.e. generation 0 — any edit
+        # makes them stale and the flat columns rebuild from this index.
+        if arrays_view is None or getattr(
+            arrays_view, "generation", 0
+        ) != self.document.generation:
+            with self.document._edit_lock:
+                arrays_view = self._arrays
+                if arrays_view is None or getattr(
+                    arrays_view, "generation", 0
+                ) != self.document.generation:
+                    arrays_view = IndexArrays(self)
+                    self._arrays = arrays_view
         return arrays_view
+
+    # ------------------------------------------------------------------
+    # Incremental repair (document edit API)
+    # ------------------------------------------------------------------
+    def repair_insert(self, inserted: list[Node]) -> None:
+        """Splice an inserted subtree into every column of this index.
+
+        ``inserted`` is the new subtree in child0 preorder; the document has
+        already renumbered itself, so ``inserted[0].order`` is the insertion
+        point ``p`` and the inserted nodes carry orders ``p..p+k-1`` while the
+        old nodes keep consistent (shifted) orders.  Cost: O(k + tail + depth)
+        where tail is the number of postings/extents at or after ``p``.
+        """
+        position = inserted[0].order
+        count = len(inserted)
+
+        # Subtree extents.  New-node extents are computed locally (children
+        # of an inserted node are inserted nodes, later in the list); old
+        # entries at/after the splice point shift by k; the only earlier
+        # nodes whose extent changes are the ancestors of the insertion
+        # point — walked explicitly, which also covers a last-child insert
+        # (their extent grows even though no old order after p belongs to
+        # their subtree).
+        new_ends = [0] * count
+        for i in range(count - 1, -1, -1):
+            node = inserted[i]
+            last = node.last_child0()
+            new_ends[i] = node.order if last is None else new_ends[last.order - position]
+        subtree_end = self.subtree_end
+        for k in range(position, len(subtree_end)):
+            subtree_end[k] += count
+        subtree_end[position:position] = new_ends
+        for ancestor in inserted[0].iter_ancestors():
+            subtree_end[ancestor.order] += count
+
+        self.nodes[position:position] = inserted
+
+        # Regular parallel arrays: shift the tail, splice the new regulars.
+        regular_orders = self.regular_orders
+        idx = bisect_left(regular_orders, position)
+        for i in range(idx, len(regular_orders)):
+            regular_orders[i] += count
+        new_regular = [node for node in inserted if not node.is_special_child]
+        regular_orders[idx:idx] = [node.order for node in new_regular]
+        self.regular_nodes[idx:idx] = new_regular
+
+        # Posting lists: shift every order array past the splice point, then
+        # bisect-insert the new nodes into their buckets.
+        for orders in self._by_type_orders.values():
+            _shift_orders(orders, position, count)
+        for orders in self._by_label_orders.values():
+            _shift_orders(orders, position, count)
+        for node in inserted:
+            _posting_insert(self.by_type[node.node_type],
+                            self._by_type_orders[node.node_type], node)
+            if node.name is not None:
+                label = (node.node_type, node.name)
+                bucket = self.by_label.setdefault(label, [])
+                orders = self._by_label_orders.setdefault(label, [])
+                _posting_insert(bucket, orders, node)
+
+    def repair_remove(self, removed: list[Node]) -> None:
+        """Remove a subtree from every column of this index.
+
+        Called *before* the document renumbers: ``removed`` is the detached
+        subtree in child0 preorder still carrying its old orders
+        ``p..p+k-1``, and ``removed[0].parent`` still points at the old
+        parent.  Symmetric to :meth:`repair_insert`.
+        """
+        position = removed[0].order
+        count = len(removed)
+
+        # Posting lists first — the bisect targets are the old orders.
+        # Emptied label buckets are pruned so a repaired index stays
+        # key-for-key identical to a fresh rebuild.
+        for node in removed:
+            _posting_remove(self.by_type[node.node_type],
+                            self._by_type_orders[node.node_type], node)
+            if node.name is not None:
+                label = (node.node_type, node.name)
+                _posting_remove(self.by_label[label],
+                                self._by_label_orders[label], node)
+                if not self._by_label_orders[label]:
+                    del self._by_label_orders[label]
+                    del self.by_label[label]
+        for orders in self._by_type_orders.values():
+            _shift_orders(orders, position, -count)
+        for orders in self._by_label_orders.values():
+            _shift_orders(orders, position, -count)
+
+        # Extents: ancestors shrink, the removed span disappears, the tail
+        # shifts down.
+        subtree_end = self.subtree_end
+        for ancestor in removed[0].iter_ancestors():
+            subtree_end[ancestor.order] -= count
+        del subtree_end[position : position + count]
+        for k in range(position, len(subtree_end)):
+            subtree_end[k] -= count
+
+        del self.nodes[position : position + count]
+
+        regular_orders = self.regular_orders
+        low = bisect_left(regular_orders, position)
+        high = bisect_left(regular_orders, position + count)
+        del regular_orders[low:high]
+        del self.regular_nodes[low:high]
+        for i in range(low, len(regular_orders)):
+            regular_orders[i] -= count
+
+    def repair_rename(self, node: Node, old_name: str) -> None:
+        """Move one node between label buckets after a rename.
+
+        Orders and extents are untouched by a rename; only the
+        ``(type, name)`` posting membership changes.
+        """
+        label = (node.node_type, old_name)
+        _posting_remove(self.by_label[label], self._by_label_orders[label], node)
+        if not self._by_label_orders[label]:
+            del self._by_label_orders[label]
+            del self.by_label[label]
+        new_label = (node.node_type, node.name)
+        bucket = self.by_label.setdefault(new_label, [])
+        orders = self._by_label_orders.setdefault(new_label, [])
+        _posting_insert(bucket, orders, node)
 
     # ------------------------------------------------------------------
     # Interval queries over the regular (non attribute/namespace) nodes

@@ -273,6 +273,44 @@ class Node:
             yield node
             node = node.parent
 
+    def subtree_size0(self) -> int:
+        """Number of nodes in this node's child0 subtree, including itself."""
+        count = 1
+        for _ in self.iter_descendants(include_special=True):
+            count += 1
+        return count
+
+    # ------------------------------------------------------------------
+    # Mutation support (used by Document's edit API)
+    # ------------------------------------------------------------------
+    def detached_copy(self) -> "Node":
+        """A deep copy of this subtree, detached from any document.
+
+        The copy carries the same types, names, values, attributes and
+        namespaces but no parent, no orders and no document — suitable for
+        :meth:`~repro.xmlmodel.document.Document.insert_child` into any
+        (possibly different) document.
+        """
+        copy = Node(self.node_type, self.name, self.value)
+        for ns in self._namespaces:
+            copy.append_namespace(ns.detached_copy())
+        for attr in self._attributes:
+            copy.append_attribute(attr.detached_copy())
+        for child in self._children:
+            copy.append_child(child.detached_copy())
+        return copy
+
+    def invalidate_string_cache(self) -> None:
+        """Drop the cached string value of this node and all its ancestors.
+
+        Called by the document's edit API: a text change anywhere inside a
+        subtree changes the ``strval`` of every ancestor element and of the
+        root, but of nothing else.
+        """
+        self._string_value = None
+        for ancestor in self.iter_ancestors():
+            ancestor._string_value = None
+
     # ------------------------------------------------------------------
     # String value (paper Section 4, `strval`)
     # ------------------------------------------------------------------

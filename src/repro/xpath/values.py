@@ -203,7 +203,7 @@ class NodeSet:
     key=lambda)`` round-trips of the pre-index implementation.
     """
 
-    __slots__ = ("_nodes", "_ordered")
+    __slots__ = ("_nodes", "_ordered", "_origin")
 
     def __init__(self, nodes: Iterable[Node] = ()):
         if isinstance(nodes, OrderSet):
@@ -215,6 +215,7 @@ class NodeSet:
         else:
             self._nodes = frozenset(nodes)
             self._ordered = None
+        self._origin = None
 
     @classmethod
     def from_sorted(cls, nodes: Iterable[Node]) -> "NodeSet":
@@ -222,13 +223,50 @@ class NodeSet:
         result = cls.__new__(cls)
         result._nodes = None
         result._ordered = tuple(nodes)
+        result._origin = None
         return result
+
+    # ------------------------------------------------------------------
+    # Generation stamping (mutable-document staleness guard)
+    # ------------------------------------------------------------------
+    def stamp(self, document) -> "NodeSet":
+        """Record the document generation this result was computed at.
+
+        Called by the engine layer on final results.  Once the document
+        moves to a newer generation, order-dependent uses of this set raise
+        :class:`~repro.errors.StaleResultError` instead of silently
+        returning wrong orders.  Results stamped against a pinned
+        ``document.snapshot()`` never go stale.
+        """
+        self._origin = (document, document.generation)
+        return self
+
+    @property
+    def generation(self) -> Optional[int]:
+        """The document generation this set was computed at, when stamped."""
+        origin = getattr(self, "_origin", None)
+        return None if origin is None else origin[1]
+
+    def _check_fresh(self) -> None:
+        origin = getattr(self, "_origin", None)
+        if origin is not None:
+            document, generation = origin
+            current = document.generation
+            if current != generation:
+                from ..errors import StaleResultError
+
+                raise StaleResultError(generation, current)
 
     # ------------------------------------------------------------------
     # Views
     # ------------------------------------------------------------------
     def in_document_order(self) -> tuple[Node, ...]:
-        """Members sorted by document order (cached)."""
+        """Members sorted by document order (cached).
+
+        Raises :class:`~repro.errors.StaleResultError` when this set was
+        stamped at an older generation of a since-edited document.
+        """
+        self._check_fresh()
         if self._ordered is None:
             self._ordered = tuple(sorted(self._nodes, key=_ORDER))
         return self._ordered

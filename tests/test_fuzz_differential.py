@@ -25,6 +25,7 @@ from repro.parallel import ParallelExecutor
 from repro.plan import PlanCache, plan_for
 from repro.session import XPathSession
 from repro.streaming import stream_select
+from repro.workloads import random_edit_script
 from repro.workloads.documents import doc_figure8, doc_flat, random_document
 from repro.xmlmodel.parser import parse_xml
 from repro.xmlmodel.serializer import serialize
@@ -388,6 +389,44 @@ def test_compiled_limit_parity(query):
     minimal = EvalLimits(max_operations=1)
     with pytest.raises(ResourceLimitExceeded):
         api.select(query, DOCUMENTS["figure8"], engine="compiled", limits=minimal)
+
+
+# ----------------------------------------------------------------------
+# Edit-interleaved fuzzing (ISSUE 10)
+#
+# The grammar-driven queries also run against documents that mutate
+# between evaluations: evaluate → random edit script → evaluate again,
+# round after round.  After every round all engines must agree with a
+# serialize → reparse reference, so the incrementally repaired index is
+# differentially checked against the from-scratch parser path at each
+# intermediate generation — not just once at the end.
+# ----------------------------------------------------------------------
+INTERLEAVED_QUERIES = ALL_QUERIES[::8]
+EDIT_ROUNDS = 4
+EDITS_PER_ROUND = 3
+
+
+@pytest.mark.parametrize("doc_seed", (19, 37))
+def test_fuzz_queries_survive_interleaved_edits(doc_seed):
+    document = random_document(doc_seed, max_depth=4, max_children=4)
+    document.index  # live index so every round exercises repair/rebuild
+    rng = random.Random(FUZZ_SEED ^ doc_seed)
+    for round_number in range(EDIT_ROUNDS):
+        random_edit_script(
+            document, EDITS_PER_ROUND, seed=rng.randrange(1 << 30)
+        )
+        reparsed = parse_xml(serialize(document))
+        for query in INTERLEAVED_QUERIES:
+            expected = _orders("topdown", query, reparsed)
+            for engine in _engines_for(query):
+                got = _orders(engine, query, document)
+                assert got == expected, (
+                    f"{engine} on {query!r} diverged from reparse after "
+                    f"round {round_number} (doc seed {doc_seed})"
+                )
+    assert document.generation == EDIT_ROUNDS * EDITS_PER_ROUND
+    stats = document.mutation_stats
+    assert stats.repairs + stats.rebuilds > 0
 
 
 @pytest.mark.parametrize(

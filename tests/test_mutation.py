@@ -1,0 +1,539 @@
+"""Mutable documents: edit API, incremental repair, snapshots, staleness.
+
+Unit coverage for the epoch model (ISSUE 10): the five edit primitives and
+their validation, generation accounting, repair-vs-rebuild bookkeeping,
+copy-on-write snapshots, result staleness, session mutation hooks, the
+pickle guard for mutated store-backed documents, and the store lifecycle
+(materialize caching, detach-on-close, cache invalidation).
+
+The repair≡rebuild *property* tests live here too: a random edit script is
+replayed onto a twin document forced to rebuild its index on every edit,
+and onto a serialize→reparse round trip, and all index columns must agree.
+"""
+
+import pickle
+import pytest
+
+from repro import api
+from repro.errors import StaleResultError
+from repro.parallel import ParallelExecutor
+from repro.session import XPathSession
+from repro.store import DocumentStore, StoredIndexArrays, invalidate, open_cached
+from repro.workloads import (
+    EditOp,
+    apply_script,
+    random_edit_script,
+    script_from_json,
+    script_to_json,
+)
+from repro.workloads.documents import random_document
+from repro.xmlmodel.builder import build_fragment
+from repro.xmlmodel.document import Document
+from repro.xmlmodel.index import DocumentIndex
+from repro.xmlmodel.nodes import Node, NodeType
+from repro.xmlmodel.parser import parse_xml
+from repro.xmlmodel.serializer import serialize
+
+
+def doc(source: str) -> Document:
+    return parse_xml(source)
+
+
+def _index_columns(index: DocumentIndex) -> dict:
+    """Every index column in comparable form (node identity abstracted)."""
+    return {
+        "orders": [node.order for node in index.nodes],
+        "shape": [
+            (node.node_type, node.name, node.value) for node in index.nodes
+        ],
+        "subtree_end": list(index.subtree_end),
+        "regular_orders": list(index.regular_orders),
+        "by_type": {key: list(value) for key, value in index._by_type_orders.items()},
+        "by_label": {key: list(value) for key, value in index._by_label_orders.items()},
+    }
+
+
+def _assert_index_consistent(document: Document) -> None:
+    """The (possibly repaired) index equals a from-scratch rebuild."""
+    rebuilt = DocumentIndex(document)
+    assert _index_columns(document.index) == _index_columns(rebuilt)
+    # Dense preorder invariant: nodes[k].order == k.
+    assert all(node.order == k for k, node in enumerate(document.index.nodes))
+
+
+# ----------------------------------------------------------------------
+# Edit API semantics
+# ----------------------------------------------------------------------
+class TestEditAPI:
+    def test_insert_child_appends_and_bumps_generation(self):
+        document = doc("<r><a/><b/></r>")
+        parent = document.document_element
+        node = document.insert_child(parent, build_fragment("c", {"id": "9"}))
+        assert document.generation == 1
+        assert node.document is document
+        assert parent.children[-1] is node
+        assert [n.order for n in document.index.nodes] == list(range(len(document)))
+        assert document.element_by_id("9") is node
+        _assert_index_consistent(document)
+
+    def test_insert_child_at_position(self):
+        document = doc("<r><a/><c/></r>")
+        parent = document.document_element
+        document.insert_child(parent, build_fragment("b"), 1)
+        assert [child.name for child in parent.children] == ["a", "b", "c"]
+        _assert_index_consistent(document)
+
+    def test_insert_rejects_adjacent_text(self):
+        document = doc("<r>hello</r>")
+        parent = document.document_element
+        with pytest.raises(ValueError, match="adjacent text"):
+            document.insert_child(parent, Node(NodeType.TEXT, value="x"), 0)
+        assert document.generation == 0
+
+    def test_insert_rejects_attached_node(self):
+        document = doc("<r><a/></r>")
+        other = doc("<s><t/></s>")
+        foreign = other.document_element.children[0]
+        with pytest.raises(ValueError, match="detached"):
+            document.insert_child(document.document_element, foreign)
+
+    def test_insert_rejects_second_document_element(self):
+        document = doc("<r/>")
+        with pytest.raises(ValueError, match="document element"):
+            document.insert_child(document.root, build_fragment("r2"))
+        with pytest.raises(ValueError, match="root"):
+            document.insert_child(document.root, Node(NodeType.TEXT, value="x"))
+
+    def test_insert_position_out_of_range(self):
+        document = doc("<r><a/></r>")
+        with pytest.raises(IndexError):
+            document.insert_child(document.document_element, build_fragment("b"), 5)
+
+    def test_remove_subtree_detaches_and_renumbers(self):
+        document = doc("<r><a><b/><c/></a><d/></r>")
+        victim = document.document_element.children[0]
+        before = len(document)
+        removed = document.remove(victim)
+        assert removed is victim
+        assert removed.parent is None and removed.document is None
+        assert removed.order == -1
+        assert len(document) == before - 3
+        assert document.generation == 1
+        _assert_index_consistent(document)
+        # The detached subtree is reusable in another document.
+        other = doc("<s/>")
+        other.insert_child(other.document_element, removed)
+        assert serialize(other) == "<s><a><b/><c/></a></s>"
+
+    def test_remove_merges_adjacent_text(self):
+        document = doc("<r>one<x/>two</r>")
+        document.remove(document.document_element.children[1])
+        texts = [
+            n for n in document.index.nodes if n.node_type is NodeType.TEXT
+        ]
+        assert [t.value for t in texts] == ["onetwo"]
+        assert serialize(document) == "<r>onetwo</r>"
+        _assert_index_consistent(document)
+
+    def test_remove_root_and_document_element_refused(self):
+        document = doc("<r><a/></r>")
+        with pytest.raises(ValueError, match="root"):
+            document.remove(document.root)
+        with pytest.raises(ValueError, match="document element"):
+            document.remove(document.document_element)
+
+    def test_rename_element_updates_postings(self):
+        document = doc("<r><a/><a/></r>")
+        first = document.document_element.children[0]
+        document.rename(first, "b")
+        assert [n.order for n in document.nodes_of_type_and_name(NodeType.ELEMENT, "b")] == [
+            first.order
+        ]
+        _assert_index_consistent(document)
+
+    def test_rename_same_name_is_silent_noop(self):
+        document = doc("<r><a/></r>")
+        document.rename(document.document_element.children[0], "a")
+        assert document.generation == 0
+        assert document.mutation_stats.edits == 0
+
+    def test_rename_rejects_duplicate_attribute_and_bad_names(self):
+        document = doc('<r a="1" b="2"/>')
+        element = document.document_element
+        attr = element.attribute("a")
+        with pytest.raises(ValueError, match="duplicate"):
+            document.rename(attr, "b")
+        with pytest.raises(ValueError, match="invalid XML name"):
+            document.rename(element, "1bad")
+        with pytest.raises(ValueError, match="cannot rename"):
+            document.rename(document.root, "x")
+
+    def test_set_text_variants_and_vetoes(self):
+        document = doc("<r>old<!--c--><?pi d?></r>")
+        text, comment, pi = document.document_element.children
+        document.set_text(text, "new")
+        assert text.value == "new"
+        assert document.document_element.string_value() == "new"
+        with pytest.raises(ValueError, match="empty text"):
+            document.set_text(text, "")
+        with pytest.raises(ValueError, match="--"):
+            document.set_text(comment, "a--b")
+        with pytest.raises(ValueError, match=r"\?>"):
+            document.set_text(pi, "end?>")
+        with pytest.raises(ValueError, match="no direct value"):
+            document.set_text(document.document_element, "x")
+        _assert_index_consistent(document)
+
+    def test_set_attribute_add_replace_remove(self):
+        document = doc("<r><a/></r>")
+        element = document.document_element.children[0]
+        attr = document.set_attribute(element, "x", "1")
+        assert attr.node_type is NodeType.ATTRIBUTE and attr.value == "1"
+        assert document.generation == 1
+        _assert_index_consistent(document)
+        same = document.set_attribute(element, "x", "2")
+        assert same is attr and attr.value == "2"
+        assert document.generation == 2
+        removed = document.set_attribute(element, "x", None)
+        assert removed is None and element.attribute("x") is None
+        assert document.generation == 3
+        # Removing an absent attribute is a no-op, not an edit.
+        assert document.set_attribute(element, "x", None) is None
+        assert document.generation == 3
+        _assert_index_consistent(document)
+
+    def test_id_map_follows_edits(self):
+        document = doc('<r><a id="one"/></r>')
+        element = document.document_element.children[0]
+        document.set_attribute(element, "id", "two")
+        assert document.element_by_id("one") is None
+        assert document.element_by_id("two") is element
+        inserted = document.insert_child(
+            document.document_element, build_fragment("b", {"id": "three"})
+        )
+        assert document.element_by_id("three") is inserted
+        document.remove(inserted)
+        assert document.element_by_id("three") is None
+
+    def test_stale_handle_after_cow_is_rejected(self):
+        document = doc("<r><a/></r>")
+        handle = document.document_element.children[0]
+        document.snapshot()
+        document.insert_child(document.document_element, build_fragment("b"))
+        # The copy-on-write replaced the tree; the old handle no longer
+        # belongs to the writer's current nodes.
+        with pytest.raises(ValueError, match="current tree"):
+            document.rename(handle, "c")
+
+    def test_snapshot_views_are_read_only(self):
+        document = doc("<r><a/></r>")
+        view = document.snapshot()
+        with pytest.raises(RuntimeError, match="read-only"):
+            view.insert_child(view.document_element, build_fragment("b"))
+
+
+# ----------------------------------------------------------------------
+# Repair vs rebuild accounting
+# ----------------------------------------------------------------------
+class TestRepairAccounting:
+    def test_small_edits_repair_in_place(self):
+        document = doc("<r><a/><b/><c/></r>")
+        index_before = document.index
+        document.insert_child(document.document_element, build_fragment("d"))
+        assert document.index is index_before  # repaired, not discarded
+        assert document.mutation_stats.repairs == 1
+        assert document.mutation_stats.rebuilds == 0
+
+    def test_dirtiness_threshold_triggers_epoch_rebuild(self):
+        document = doc("<r>" + "<a/>" * 100 + "</r>")
+        document.rebuild_threshold = 0.0  # floor (_REBUILD_MIN_DIRT) governs
+        index_before = document.index
+        # Inserting at the very front dirties the whole tail (> 64 entries).
+        document.insert_child(document.document_element, build_fragment("z"), 0)
+        assert document.mutation_stats.rebuilds == 1
+        assert document.mutation_stats.repairs == 0
+        assert document._index is None  # lazy: rebuilt on next access
+        assert document.index is not index_before
+        _assert_index_consistent(document)
+
+    def test_dirt_accumulates_across_small_edits(self):
+        document = doc("<r>" + "<a/>" * 100 + "</r>")
+        parent = document.document_element
+        document.index  # live index: edits go through repair accounting
+        # Mid-document inserts each dirty half the tail; a few of them must
+        # cross the threshold (amortisation, not unbounded decay), while
+        # the first ones repair in place.
+        for _ in range(10):
+            document.insert_child(parent, build_fragment("b"), 50)
+            if document.mutation_stats.rebuilds:
+                break
+        assert document.mutation_stats.repairs >= 1
+        assert document.mutation_stats.rebuilds >= 1
+        _assert_index_consistent(document)
+
+    def test_index_arrays_are_generation_stamped(self):
+        document = doc("<r><a/><a/></r>")
+        arrays = document.index.arrays()
+        assert arrays.generation == 0
+        assert document.index.arrays() is arrays  # cached while unedited
+        document.insert_child(document.document_element, build_fragment("a"))
+        fresh = document.index.arrays()
+        assert fresh is not arrays
+        assert fresh.generation == document.generation
+        # The compiled engine (sole arrays consumer) sees the new tree.
+        assert len(api.select("//a", document, engine="compiled")) == 3
+
+
+# ----------------------------------------------------------------------
+# Repair ≡ rebuild (property tests over random edit scripts)
+# ----------------------------------------------------------------------
+REPAIR_SEEDS = (5, 18, 19, 26, 37)
+
+
+class TestRepairEqualsRebuild:
+    @pytest.mark.parametrize("seed", REPAIR_SEEDS)
+    def test_repaired_index_matches_always_rebuilt_twin(self, seed):
+        document = random_document(seed, max_depth=4, max_children=4)
+        twin = parse_xml(serialize(document))
+        # Force the twin down the epoch-rebuild path on every single edit.
+        twin.rebuild_threshold = 0.0
+        twin._REBUILD_MIN_DIRT = 0
+        document.index, twin.index  # both start with a live index
+        script = random_edit_script(document, 12, seed=seed * 31 + 1)
+        assert script, "seed produced no edits"
+        assert apply_script(twin, script) == len(script)
+        # Structural edits on the twin all took the rebuild path (renames
+        # and value writes have no structural span and repair regardless).
+        assert twin.mutation_stats.rebuilds >= 1
+        assert serialize(twin) == serialize(document)
+        assert _index_columns(document.index) == _index_columns(twin.index)
+        assert document.generation == twin.generation == len(script)
+
+    @pytest.mark.parametrize("seed", REPAIR_SEEDS)
+    def test_repaired_index_matches_reparse(self, seed):
+        document = random_document(seed, max_depth=4, max_children=4)
+        document.index
+        random_edit_script(document, 12, seed=seed * 31 + 2)
+        reparsed = parse_xml(serialize(document))
+        assert _index_columns(document.index) == _index_columns(reparsed.index)
+        assert document.id_map().keys() == reparsed.id_map().keys()
+
+    @pytest.mark.parametrize("seed", REPAIR_SEEDS[:3])
+    def test_script_json_round_trip_replays_identically(self, seed):
+        document = random_document(seed, max_depth=4, max_children=4)
+        twin = parse_xml(serialize(document))
+        script = random_edit_script(document, 10, seed=seed)
+        replayed = script_from_json(script_to_json(script))
+        assert replayed == script
+        apply_script(twin, replayed)
+        assert serialize(twin) == serialize(document)
+
+
+# ----------------------------------------------------------------------
+# Snapshots (copy-on-write)
+# ----------------------------------------------------------------------
+class TestSnapshots:
+    def test_snapshot_shares_until_first_edit(self):
+        document = doc("<r><a/><b/></r>")
+        view = document.snapshot()
+        assert view.is_snapshot and not document.is_snapshot
+        assert view.root is document.root  # nothing copied yet
+        assert view.generation == document.generation
+        assert document.snapshot() is view  # cached between edits
+        assert view.snapshot() is view  # snapshot of a snapshot
+
+    def test_edit_after_snapshot_copies_writer_not_view(self):
+        document = doc("<r><a/><b/></r>")
+        view = document.snapshot()
+        old_root = document.root
+        document.insert_child(document.document_element, build_fragment("c"))
+        assert document.mutation_stats.cow_copies == 1
+        assert view.root is old_root  # the view kept the old tree
+        assert document.root is not old_root
+        assert serialize(view) == "<r><a/><b/></r>"
+        assert serialize(document) == "<r><a/><b/><c/></r>"
+        assert view.generation == 0 and document.generation == 1
+        # A new snapshot after the edit pins the new state.
+        assert document.snapshot() is not view
+
+    def test_snapshot_results_never_go_stale(self):
+        document = doc("<r><a/><a/></r>")
+        session = XPathSession()
+        view = document.snapshot()
+        result = session.run("//a", view)
+        document.remove(document.document_element.children[0])
+        # The writer moved on; the pinned result still orders fine.
+        assert [n.name for n in result.nodes] == ["a", "a"]
+        assert result.generation == view.generation == 0
+
+    def test_only_one_cow_per_snapshot(self):
+        document = doc("<r><a/></r>")
+        document.snapshot()
+        document.insert_child(document.document_element, build_fragment("b"))
+        document.insert_child(document.document_element, build_fragment("c"))
+        assert document.mutation_stats.cow_copies == 1  # second edit is free
+
+
+# ----------------------------------------------------------------------
+# Result staleness and session hooks
+# ----------------------------------------------------------------------
+class TestStaleness:
+    def test_stale_node_set_raises_positioned_error(self):
+        document = doc("<r><a/><a/></r>")
+        session = XPathSession()
+        result = session.run("//a", document)
+        assert result.generation == 0
+        assert len(result.nodes) == 2  # fresh: fine
+        document.insert_child(document.document_element, build_fragment("a"))
+        with pytest.raises(StaleResultError) as excinfo:
+            result.nodes
+        assert excinfo.value.computed_at == 0
+        assert excinfo.value.current == 1
+        assert "generation 0" in str(excinfo.value)
+
+    def test_scalar_results_are_not_stamped(self):
+        document = doc("<r><a/></r>")
+        session = XPathSession()
+        result = session.run("count(//a)", document)
+        document.insert_child(document.document_element, build_fragment("a"))
+        assert result.value == 1.0  # scalars cannot dangle; no staleness
+
+    def test_rerun_after_edit_is_fresh(self):
+        document = doc("<r><a/></r>")
+        session = XPathSession()
+        session.run("//a", document)
+        document.insert_child(document.document_element, build_fragment("a"))
+        result = session.run("//a", document)
+        assert len(result.nodes) == 2
+        assert result.generation == 1
+
+    def test_session_watch_counts_mutation_events(self):
+        session = XPathSession()
+        document = session.watch(doc("<r><a/></r>"))
+        document.index  # live index: the first edit takes the repair path
+        document.insert_child(document.document_element, build_fragment("b"))
+        document.snapshot()
+        # The copy-on-write drops the shared index, so this rename has no
+        # index to repair — the session sees "cow" + "edit" only.
+        document.rename(document.document_element.children[0], "z")
+        stats = session.stats.as_dict()
+        assert stats["document_edits"] == 2
+        assert stats["index_repairs"] == 1
+        assert stats["cow_copies"] == 1
+        session.unwatch(document)
+        document.insert_child(document.document_element, build_fragment("c"))
+        assert session.stats.document_edits == 2  # unwatched: no longer folded
+
+    def test_plan_cache_survives_edits(self):
+        session = XPathSession()
+        document = doc("<r><a/></r>")
+        first = session.run("//a", document)
+        document.insert_child(document.document_element, build_fragment("a"))
+        second = session.run("//a", document)
+        assert first.cache_hit is False and second.cache_hit is True
+        assert second.plan is first.plan  # plans are generation-independent
+
+
+# ----------------------------------------------------------------------
+# Pickling mutated documents (satellite 1)
+# ----------------------------------------------------------------------
+class TestMutatedPickle:
+    def test_flat_payload_preserves_edits(self):
+        document = doc('<r><a id="1">x</a></r>')
+        document.insert_child(document.document_element, build_fragment("b"))
+        clone = pickle.loads(pickle.dumps(document))
+        assert serialize(clone) == serialize(document)
+        # Generations are per-process edit epochs, not content versions.
+        assert clone.generation == 0
+        _assert_index_consistent(clone)
+
+    def test_store_documents_lose_fast_path_once_edited(self, tmp_path):
+        path = str(tmp_path / "docs.reproxs")
+        DocumentStore.build(path, [doc("<r><a/></r>")], names=["d"])
+        with DocumentStore.open(path) as store:
+            document = store.document_at(0).materialize()
+            clone0 = pickle.loads(pickle.dumps(document))
+            assert serialize(clone0) == "<r><a/></r>"  # fast path, same content
+            document.insert_child(document.document_element, build_fragment("b"))
+            assert document.store_detached
+            clone1 = pickle.loads(pickle.dumps(document))
+            # The stale store content must not resurrect in the receiver.
+            assert serialize(clone1) == "<r><a/><b/></r>"
+
+    def test_process_backend_sees_the_edit(self, tmp_path):
+        path = str(tmp_path / "docs.reproxs")
+        DocumentStore.build(path, [doc("<r><a/></r>")], names=["d"])
+        with DocumentStore.open(path) as store:
+            document = store.document_at(0).materialize()
+            document.insert_child(document.document_element, build_fragment("a"))
+            session = XPathSession()
+            collection = session.collection([document])
+            with ParallelExecutor(backend="process", max_workers=2) as pool:
+                batch = list(collection.select("//a", parallel=pool))
+            assert batch[0].ok
+            assert len(batch[0].nodes) == 2  # the worker saw the edit
+
+
+# ----------------------------------------------------------------------
+# Store lifecycle with mutable trees (satellite 2)
+# ----------------------------------------------------------------------
+class TestStoreLifecycle:
+    def _build(self, tmp_path) -> str:
+        path = str(tmp_path / "docs.reproxs")
+        DocumentStore.build(
+            path, [doc("<r><a/><a/></r>"), doc("<r><b/></r>")], names=["d0", "d1"]
+        )
+        return path
+
+    def test_materialize_recaches_after_edit(self, tmp_path):
+        path = self._build(tmp_path)
+        with DocumentStore.open(path) as store:
+            handle = store.document_at(0)
+            document = handle.materialize()
+            assert handle.materialize() is document  # cached while pristine
+            document.remove(document.document_element.children[0])
+            fresh = handle.materialize()
+            # The handle describes the *stored* content: a fresh
+            # generation-0 tree, not the edited one.
+            assert fresh is not document
+            assert fresh.generation == 0
+            assert serialize(fresh) == "<r><a/><a/></r>"
+            assert serialize(document) == "<r><a/></r>"
+
+    def test_info_reports_materialized_generations(self, tmp_path):
+        path = self._build(tmp_path)
+        with DocumentStore.open(path) as store:
+            document = store.document_at(0).materialize()
+            assert store.info()["materialized_generations"] == {0: 0}
+            document.insert_child(document.document_element, build_fragment("c"))
+            assert store.info()["materialized_generations"] == {0: 1}
+
+    def test_close_detaches_live_trees(self, tmp_path):
+        path = self._build(tmp_path)
+        store = DocumentStore.open(path)
+        document = store.document_at(0).materialize()
+        assert isinstance(document.index._arrays, StoredIndexArrays)
+        store.close()
+        assert document.store_detached
+        assert document._store_origin is None
+        # The tree must keep answering — including through the compiled
+        # engine, which would otherwise read the released mmap views.
+        assert len(api.select("//a", document, engine="compiled")) == 2
+        document.insert_child(document.document_element, build_fragment("a"))
+        assert len(api.select("//a", document, engine="compiled")) == 3
+
+    def test_invalidate_does_not_orphan_live_trees(self, tmp_path):
+        path = self._build(tmp_path)
+        store = open_cached(path)
+        document = store.document_at(0).materialize()
+        assert invalidate(path)  # drops the cache entry and closes the map
+        assert len(api.select("//a", document, engine="compiled")) == 2
+        document.insert_child(document.document_element, build_fragment("a"))
+        assert len(api.select("//a", document)) == 3
+        # A later open_cached builds a fresh mapping with the stored content.
+        reopened = open_cached(path)
+        try:
+            fresh = reopened.document_at(0).materialize()
+            assert serialize(fresh) == "<r><a/><a/></r>"
+        finally:
+            invalidate(path)
